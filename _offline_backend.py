@@ -1,0 +1,36 @@
+"""Offline PEP 517 backend shim.
+
+This environment has no network access, so pip's build isolation cannot
+download setuptools/wheel into the isolated build environment.  The
+shim makes the host interpreter's installed packages visible to the
+isolated environment and then delegates everything to setuptools'
+standard backend.  With it, a plain ``pip install -e .`` works offline.
+"""
+
+import site
+import sys
+
+# Expose the host environment's site-packages inside pip's isolated
+# build env (which starts with an empty sys.path besides this backend).
+for path in site.getsitepackages():
+    if path not in sys.path:
+        sys.path.append(path)
+
+from setuptools.build_meta import *  # noqa: F401,F403  (re-export backend API)
+from setuptools.build_meta import (  # noqa: F401  (optional editable hooks)
+    build_editable,
+    prepare_metadata_for_build_editable,
+)
+
+
+def get_requires_for_build_wheel(config_settings=None):
+    """No dynamic build requirements — wheel is already importable."""
+    return []
+
+
+def get_requires_for_build_sdist(config_settings=None):
+    return []
+
+
+def get_requires_for_build_editable(config_settings=None):
+    return []

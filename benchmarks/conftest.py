@@ -1,0 +1,53 @@
+"""Shared benchmark fixtures.
+
+Datasets are built once per session at ``REPRO_BENCH_SCALE`` (default
+0.2) so each benchmark times the *analysis*, not the simulation.  Every
+benchmark writes its rendered paper-vs-measured report into
+``results/`` next to this file, giving a reviewable artefact per run.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.base import DataContext
+from repro.analysis.experiments import run_experiment
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.2"))
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def ctx() -> DataContext:
+    return DataContext(scale=BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def run_and_check(benchmark, ctx, results_dir, experiment_id, prebuild):
+    """Shared benchmark body: prebuild data, time the analysis, verify.
+
+    ``prebuild`` is a list of dataset-builder callables (e.g.
+    ``[ctx.dataset_c]``) invoked before timing starts, so the timed
+    section is the paper's analysis pipeline alone.
+    """
+    for builder in prebuild:
+        builder()
+    result = benchmark.pedantic(
+        run_experiment, args=(experiment_id, ctx), rounds=1, iterations=1
+    )
+    report_path = results_dir / f"{experiment_id}.txt"
+    report_path.write_text(result.report() + "\n", encoding="utf-8")
+    failed = result.failed_checks()
+    assert not failed, (
+        f"{experiment_id}: {len(failed)} shape check(s) failed: "
+        + "; ".join(f"{c.description} ({c.detail})" for c in failed)
+    )
+    return result

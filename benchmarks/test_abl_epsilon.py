@@ -1,0 +1,13 @@
+"""Benchmark regenerating the epsilon-tightening ablation of the violation test.
+
+Runs the experiment pipeline on prebuilt scenario datasets, records the
+report under ``benchmarks/results/``, and asserts the expected shapes.
+"""
+
+from conftest import run_and_check
+
+
+def test_abl_epsilon(benchmark, ctx, results_dir):
+    prebuild = [ctx.dataset_a]
+    result = run_and_check(benchmark, ctx, results_dir, "abl_epsilon", prebuild)
+    assert result.measured

@@ -1,0 +1,13 @@
+"""Benchmark regenerating the template-jitter vs PPE ablation.
+
+Runs the experiment pipeline on prebuilt scenario datasets, records the
+report under ``benchmarks/results/``, and asserts the expected shapes.
+"""
+
+from conftest import run_and_check
+
+
+def test_abl_jitter(benchmark, ctx, results_dir):
+    prebuild = []
+    result = run_and_check(benchmark, ctx, results_dir, "abl_jitter", prebuild)
+    assert result.measured

@@ -1,0 +1,13 @@
+"""Benchmark regenerating censorship detection via the deceleration test (extension).
+
+Runs the experiment pipeline on prebuilt scenario datasets, records the
+report under ``benchmarks/results/``, and asserts the expected shapes.
+"""
+
+from conftest import run_and_check
+
+
+def test_ext_censorship(benchmark, ctx, results_dir):
+    prebuild = []
+    result = run_and_check(benchmark, ctx, results_dir, "ext_censorship", prebuild)
+    assert result.measured

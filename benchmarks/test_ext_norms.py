@@ -1,0 +1,13 @@
+"""Benchmark regenerating the §6.1 candidate-norms comparison (extension).
+
+Runs the experiment pipeline on prebuilt scenario datasets, records the
+report under ``benchmarks/results/``, and asserts the expected shapes.
+"""
+
+from conftest import run_and_check
+
+
+def test_ext_norms(benchmark, ctx, results_dir):
+    prebuild = [ctx.dataset_a]
+    result = run_and_check(benchmark, ctx, results_dir, "ext_norms", prebuild)
+    assert result.measured

@@ -1,0 +1,11 @@
+"""Benchmark regenerating the statistical-power map of the audit test.
+
+Pure Monte-Carlo over the exact binomial test — no datasets needed.
+"""
+
+from conftest import run_and_check
+
+
+def test_ext_power(benchmark, ctx, results_dir):
+    result = run_and_check(benchmark, ctx, results_dir, "ext_power", [])
+    assert result.measured

@@ -1,0 +1,13 @@
+"""Benchmark regenerating third-party norm verification (extension).
+
+Runs the experiment pipeline on prebuilt scenario datasets, records the
+report under ``benchmarks/results/``, and asserts the expected shapes.
+"""
+
+from conftest import run_and_check
+
+
+def test_ext_verification(benchmark, ctx, results_dir):
+    prebuild = [ctx.dataset_c]
+    result = run_and_check(benchmark, ctx, results_dir, "ext_verification", prebuild)
+    assert result.measured

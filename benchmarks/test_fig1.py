@@ -1,0 +1,14 @@
+"""Benchmark regenerating Fig 1: the April 2016 ordering-norm switch.
+
+Runs the experiment pipeline on prebuilt scenario datasets, records the
+paper-vs-measured report under ``benchmarks/results/``, and asserts the
+paper's qualitative shape checks.
+"""
+
+from conftest import run_and_check
+
+
+def test_fig1(benchmark, ctx, results_dir):
+    prebuild = []
+    result = run_and_check(benchmark, ctx, results_dir, "fig1", prebuild)
+    assert result.measured  # the experiment produced data

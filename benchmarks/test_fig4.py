@@ -1,0 +1,14 @@
+"""Benchmark regenerating Fig 4: commit delays, fee-rates, and the congestion coupling.
+
+Runs the experiment pipeline on prebuilt scenario datasets, records the
+paper-vs-measured report under ``benchmarks/results/``, and asserts the
+paper's qualitative shape checks.
+"""
+
+from conftest import run_and_check
+
+
+def test_fig4(benchmark, ctx, results_dir):
+    prebuild = [ctx.dataset_a, ctx.dataset_b]
+    result = run_and_check(benchmark, ctx, results_dir, "fig4", prebuild)
+    assert result.measured  # the experiment produced data

@@ -1,0 +1,14 @@
+"""Benchmark regenerating Fig 5: higher fee bands commit faster (dataset A).
+
+Runs the experiment pipeline on prebuilt scenario datasets, records the
+paper-vs-measured report under ``benchmarks/results/``, and asserts the
+paper's qualitative shape checks.
+"""
+
+from conftest import run_and_check
+
+
+def test_fig5(benchmark, ctx, results_dir):
+    prebuild = [ctx.dataset_a]
+    result = run_and_check(benchmark, ctx, results_dir, "fig5", prebuild)
+    assert result.measured  # the experiment produced data

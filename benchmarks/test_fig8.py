@@ -1,0 +1,14 @@
+"""Benchmark regenerating Fig 8: pool reward wallets and inferred self-interest txs.
+
+Runs the experiment pipeline on prebuilt scenario datasets, records the
+paper-vs-measured report under ``benchmarks/results/``, and asserts the
+paper's qualitative shape checks.
+"""
+
+from conftest import run_and_check
+
+
+def test_fig8(benchmark, ctx, results_dir):
+    prebuild = [ctx.dataset_c]
+    result = run_and_check(benchmark, ctx, results_dir, "fig8", prebuild)
+    assert result.measured  # the experiment produced data

@@ -1,0 +1,95 @@
+"""Micro-benchmarks for the audit toolkit's hot primitives.
+
+Unlike the experiment benchmarks (one timed regeneration per artefact),
+these run many rounds over fixed inputs, tracking the performance of
+the primitives that dominate large audits: position prediction, the
+pairwise violation count, exact binomial tails, block-template
+construction, and SPPE extraction.
+"""
+
+import numpy as np
+import pytest
+
+from repro.chain.block import build_block
+from repro.chain.transaction import TransactionBuilder, coinbase_value, make_coinbase
+from repro.core.ppe import block_ppe, per_transaction_sppe
+from repro.core.stattests import binom_tail_upper
+from repro.core.violations import count_violations
+from repro.mempool.mempool import MempoolEntry
+from repro.mining.gbt import ancestor_package_template, greedy_feerate_template
+
+
+@pytest.fixture(scope="module")
+def big_block():
+    builder = TransactionBuilder("bench-block")
+    rng = np.random.default_rng(0)
+    txs = [
+        builder.build(
+            "x",
+            1000,
+            fee=int(rng.integers(100, 1_000_000)),
+            vsize=int(rng.integers(150, 600)),
+            nonce=i,
+        )
+        for i in range(1500)
+    ]
+    coinbase = make_coinbase("pool", coinbase_value(0, sum(t.fee for t in txs)), "/bench/", 0)
+    return build_block(0, "0" * 64, 0.0, coinbase, txs)
+
+
+@pytest.fixture(scope="module")
+def entries():
+    builder = TransactionBuilder("bench-entries")
+    rng = np.random.default_rng(1)
+    out = []
+    for i in range(3000):
+        parents = ()
+        if out and rng.random() < 0.25:
+            parents = (out[int(rng.integers(len(out)))].tx.txid,)
+        tx = builder.build(
+            "x",
+            1000,
+            fee=int(rng.integers(100, 500_000)),
+            vsize=int(rng.integers(150, 2000)),
+            extra_parents=list(parents),
+            nonce=i,
+        )
+        out.append(MempoolEntry(tx=tx, arrival_time=float(i)))
+    return out
+
+
+def test_block_ppe_1500_txs(benchmark, big_block):
+    result = benchmark(block_ppe, big_block)
+    assert result is not None and 0.0 <= result.ppe <= 100.0
+
+
+def test_per_transaction_sppe(benchmark, big_block):
+    errors = benchmark(per_transaction_sppe, [big_block])
+    assert len(errors) > 1000
+
+
+def test_violation_count_2000_txs(benchmark):
+    rng = np.random.default_rng(2)
+    n = 2000
+    times = rng.uniform(0, 10_000, n)
+    rates = rng.uniform(1, 500, n)
+    heights = rng.integers(0, 200, n)
+    eligible, violating = benchmark(
+        count_violations, times, rates, heights, 10.0
+    )
+    assert 0 <= violating <= eligible
+
+
+def test_exact_binomial_tail_paper_scale(benchmark):
+    p = benchmark(binom_tail_upper, 214, 1343, 0.0375)
+    assert p < 1e-60
+
+
+def test_greedy_template_3000_entries(benchmark, entries):
+    template = benchmark(greedy_feerate_template, entries, 1_000_000)
+    assert len(template) > 100
+
+
+def test_package_template_3000_entries(benchmark, entries):
+    template = benchmark(ancestor_package_template, entries, 1_000_000)
+    assert len(template) > 100

@@ -1,0 +1,14 @@
+"""Benchmark regenerating Table 1: dataset summaries (blocks, txs, CPFP share, empty blocks).
+
+Runs the experiment pipeline on prebuilt scenario datasets, records the
+paper-vs-measured report under ``benchmarks/results/``, and asserts the
+paper's qualitative shape checks.
+"""
+
+from conftest import run_and_check
+
+
+def test_table1(benchmark, ctx, results_dir):
+    prebuild = [ctx.dataset_a, ctx.dataset_b, ctx.dataset_c]
+    result = run_and_check(benchmark, ctx, results_dir, "table1", prebuild)
+    assert result.measured  # the experiment produced data

@@ -1,0 +1,14 @@
+"""Benchmark regenerating Table 4: dark-fee detection via the SPPE threshold sweep.
+
+Runs the experiment pipeline on prebuilt scenario datasets, records the
+paper-vs-measured report under ``benchmarks/results/``, and asserts the
+paper's qualitative shape checks.
+"""
+
+from conftest import run_and_check
+
+
+def test_table4(benchmark, ctx, results_dir):
+    prebuild = [ctx.dataset_c]
+    result = run_and_check(benchmark, ctx, results_dir, "table4", prebuild)
+    assert result.measured  # the experiment produced data

@@ -1,0 +1,14 @@
+"""Benchmark regenerating Table 5: fee share of miner revenue, 2016-2020.
+
+Runs the experiment pipeline on prebuilt scenario datasets, records the
+paper-vs-measured report under ``benchmarks/results/``, and asserts the
+paper's qualitative shape checks.
+"""
+
+from conftest import run_and_check
+
+
+def test_table5(benchmark, ctx, results_dir):
+    prebuild = []
+    result = run_and_check(benchmark, ctx, results_dir, "table5", prebuild)
+    assert result.measured  # the experiment produced data

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Congestion study: does paying more actually help? (§4.1)
+
+Reproduces the user-facing half of the paper on the dataset A and B
+analogues: how congested the mempool is, how long transactions wait,
+how users bid fees up under congestion, and whether that bidding works.
+
+Run:  python examples/congestion_study.py [scale]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import Auditor, build_dataset_a, build_dataset_b
+from repro.analysis.tables import render_kv, render_table
+from repro.core.congestion import FEE_BAND_LABELS
+from repro.core.fee_estimator import NormBasedFeeEstimator
+from repro.mempool.snapshots import CONGESTION_BINS
+
+
+def study(name: str, dataset) -> None:
+    auditor = Auditor(dataset)
+    series = dataset.size_series
+    sizes = np.asarray(series.sizes(), dtype=float)
+    delays = auditor.delay_summary()
+    print(
+        render_kv(
+            [
+                ("congested (>1 MvB) fraction of time", series.congested_fraction()),
+                ("peak backlog (x block size)", float(sizes.max()) / 1e6),
+                ("txs committed next block", delays.next_block_fraction),
+                ("txs waiting >= 3 blocks", delays.delayed_3plus_fraction),
+                ("txs waiting >= 10 blocks", delays.delayed_10plus_fraction),
+                ("worst wait (blocks)", delays.max_delay),
+            ],
+            title=f"Dataset {name}: congestion and delays (Figs 3-4)",
+        )
+    )
+
+    grouped = auditor.fee_rates_by_congestion_level()
+    print(
+        render_table(
+            ["congestion at issuance", "txs", "median fee (sat/vB)"],
+            [
+                (
+                    label,
+                    len(grouped[label]),
+                    float(np.median(grouped[label])) if len(grouped[label]) else float("nan"),
+                )
+                for label in CONGESTION_BINS
+            ],
+            title=f"Dataset {name}: users bid up fees under congestion (Fig 4c)",
+        )
+    )
+
+    by_band = auditor.delay_by_fee_band(include_censored=True)
+    print(
+        render_table(
+            ["fee band", "txs", "median delay", "p90 delay"],
+            [
+                (
+                    label,
+                    len(by_band[label]),
+                    float(np.median(by_band[label])) if len(by_band[label]) else float("nan"),
+                    float(np.percentile(by_band[label], 90)) if len(by_band[label]) else float("nan"),
+                )
+                for label in FEE_BAND_LABELS
+            ],
+            title=f"Dataset {name}: ...and paying more works (Fig 5/12)",
+        )
+    )
+    print()
+
+
+def fee_advice(dataset) -> None:
+    """What a norm-assuming wallet would recommend right now."""
+    estimator = NormBasedFeeEstimator(window=24)
+    blocks = list(dataset.chain)
+    rows = [
+        (f"within {target} block(s)",
+         estimator.estimate(blocks, target).fee_rate_sat_vb)
+        for target in (1, 3, 6, 10)
+    ]
+    print(
+        render_table(
+            ["confirmation target", "suggested fee (sat/vB)"],
+            rows,
+            title="Wallet-style fee suggestions from recent blocks",
+        )
+    )
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.15
+    print(f"Building dataset A and B analogues at scale {scale}...\n")
+    dataset_a = build_dataset_a(scale=scale)
+    dataset_b = build_dataset_b(scale=scale)
+    study("A (Feb-Mar 2019, default node)", dataset_a)
+    study("B (June 2019, permissive node)", dataset_b)
+    fee_advice(dataset_a)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""Analyses reproducing every table and figure of the paper."""
+
+from .base import (
+    DEFAULT_SCALE,
+    DataContext,
+    ExperimentResult,
+    ShapeCheck,
+    check,
+    paper_vs_measured_rows,
+)
+from .cdf import Ecdf, dominates, ecdf, quantile_table
+from .experiments import EXPERIMENTS, run_all, run_experiment, run_experiments
+from .tables import format_cell, render_kv, render_table
+
+__all__ = [
+    "DEFAULT_SCALE",
+    "DataContext",
+    "ExperimentResult",
+    "ShapeCheck",
+    "check",
+    "paper_vs_measured_rows",
+    "Ecdf",
+    "dominates",
+    "ecdf",
+    "quantile_table",
+    "EXPERIMENTS",
+    "run_all",
+    "run_experiment",
+    "run_experiments",
+    "format_cell",
+    "render_kv",
+    "render_table",
+]

@@ -1,0 +1,108 @@
+"""Experiment framework: context, results, and the paper-vs-measured check.
+
+Every table/figure reproduction is a function ``run(ctx) -> ExperimentResult``.
+The :class:`DataContext` builds (and memoises) the datasets a run needs at a
+chosen scale; the :class:`ExperimentResult` carries the measured rows, the
+paper's reference values, and a list of *shape checks* — qualitative claims
+("misbehaving pools flagged", "higher fees ⇒ lower delays") that benches
+assert instead of brittle absolute numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..datasets.builder import build_dataset_a, build_dataset_b, build_dataset_c
+from ..datasets.dataset import Dataset
+
+#: Default scale for experiment runs: large enough for the statistics,
+#: small enough for a laptop session.
+DEFAULT_SCALE = 0.25
+
+
+@dataclass
+class DataContext:
+    """Lazily built datasets shared by experiment runs."""
+
+    scale: float = DEFAULT_SCALE
+    _cache: dict[str, Dataset] = field(default_factory=dict, repr=False)
+
+    def dataset_a(self) -> Dataset:
+        if "A" not in self._cache:
+            self._cache["A"] = build_dataset_a(scale=self.scale)
+        return self._cache["A"]
+
+    def dataset_b(self) -> Dataset:
+        if "B" not in self._cache:
+            self._cache["B"] = build_dataset_b(scale=self.scale)
+        return self._cache["B"]
+
+    def dataset_c(self) -> Dataset:
+        if "C" not in self._cache:
+            self._cache["C"] = build_dataset_c(scale=self.scale)
+        return self._cache["C"]
+
+
+@dataclass(frozen=True)
+class ShapeCheck:
+    """One qualitative claim from the paper, verified on measured output."""
+
+    description: str
+    passed: bool
+    detail: str = ""
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one table/figure reproduction."""
+
+    experiment_id: str
+    title: str
+    #: Reference values quoted from the paper, for side-by-side review.
+    paper: dict[str, object]
+    #: Measured values from this run.
+    measured: dict[str, object]
+    #: Rendered tables/series, ready to print.
+    rendered: str
+    checks: list[ShapeCheck] = field(default_factory=list)
+
+    @property
+    def all_passed(self) -> bool:
+        return all(check.passed for check in self.checks)
+
+    def failed_checks(self) -> list[ShapeCheck]:
+        return [check for check in self.checks if not check.passed]
+
+    def report(self) -> str:
+        """Full human-readable report."""
+        lines = [f"=== {self.experiment_id}: {self.title} ===", self.rendered, ""]
+        for check in self.checks:
+            status = "PASS" if check.passed else "FAIL"
+            detail = f" ({check.detail})" if check.detail else ""
+            lines.append(f"[{status}] {check.description}{detail}")
+        return "\n".join(lines)
+
+
+def check(
+    description: str, passed: bool, detail: str = ""
+) -> ShapeCheck:
+    """Convenience constructor."""
+    return ShapeCheck(description=description, passed=bool(passed), detail=detail)
+
+
+#: Signature every experiment module's ``run`` follows.
+ExperimentRunner = Callable[[DataContext], ExperimentResult]
+
+
+def paper_vs_measured_rows(
+    paper: dict[str, object], measured: dict[str, object]
+) -> list[Sequence[object]]:
+    """Join paper and measured dicts on shared keys for rendering."""
+    rows = []
+    for key in paper:
+        rows.append((key, paper[key], measured.get(key, "-")))
+    for key in measured:
+        if key not in paper:
+            rows.append((key, "-", measured[key]))
+    return rows

@@ -1,0 +1,95 @@
+"""Empirical CDF helpers shared by the figure reproductions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Ecdf:
+    """An empirical CDF: sorted values and cumulative probabilities."""
+
+    values: np.ndarray
+    probabilities: np.ndarray
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "Ecdf":
+        array = np.sort(np.asarray(values, dtype=float))
+        if array.size == 0:
+            return cls(np.empty(0), np.empty(0))
+        probs = np.arange(1, array.size + 1, dtype=float) / array.size
+        return cls(values=array, probabilities=probs)
+
+    @property
+    def count(self) -> int:
+        return int(self.values.size)
+
+    def at(self, value: float) -> float:
+        """P(X <= value)."""
+        if self.count == 0:
+            return float("nan")
+        return float(np.searchsorted(self.values, value, side="right") / self.count)
+
+    def quantile(self, q: float) -> float:
+        """The q-th quantile (q in [0, 1])."""
+        if self.count == 0:
+            return float("nan")
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0,1], got {q}")
+        return float(np.quantile(self.values, q))
+
+    def sample_points(self, count: int = 25) -> list[tuple[float, float]]:
+        """Evenly spaced (value, probability) pairs for text rendering."""
+        if self.count == 0:
+            return []
+        indexes = np.unique(
+            np.linspace(0, self.count - 1, num=min(count, self.count)).astype(int)
+        )
+        return [
+            (float(self.values[i]), float(self.probabilities[i])) for i in indexes
+        ]
+
+
+def ecdf(values: Sequence[float]) -> Ecdf:
+    """Shorthand constructor."""
+    return Ecdf.from_values(values)
+
+
+def quantile_table(
+    series: dict[str, Sequence[float]],
+    quantiles: Sequence[float] = (0.1, 0.25, 0.5, 0.75, 0.9, 0.99),
+) -> dict[str, list[float]]:
+    """Per-series quantiles — the text analogue of overlaid CDFs."""
+    table: dict[str, list[float]] = {}
+    for label, values in series.items():
+        array = np.asarray(values, dtype=float)
+        if array.size == 0:
+            table[label] = [float("nan")] * len(quantiles)
+        else:
+            table[label] = [float(np.quantile(array, q)) for q in quantiles]
+    return table
+
+
+def dominates(
+    lower: Sequence[float], upper: Sequence[float], tolerance: float = 0.05
+) -> bool:
+    """First-order stochastic dominance check at the deciles.
+
+    True when the ``upper`` sample is at least as large as ``lower`` at
+    every decile — how benchmarks assert "higher congestion ⇒ higher
+    fees" style claims without exact-number pinning.  ``tolerance``
+    allows a small relative slack per decile: empirical CDFs of finite
+    samples routinely cross by a hair at extreme quantiles even when
+    the population ordering is clean.
+    """
+    low = np.asarray(lower, dtype=float)
+    up = np.asarray(upper, dtype=float)
+    if low.size == 0 or up.size == 0:
+        return False
+    probes = np.linspace(0.1, 0.9, 9)
+    low_q = np.quantile(low, probes)
+    up_q = np.quantile(up, probes)
+    return bool(np.all(up_q >= low_q - tolerance * np.abs(low_q)))

@@ -1,0 +1,120 @@
+"""Extension: detecting transaction censorship with the deceleration test.
+
+The paper found no deceleration in the wild (Table 3) and notes that
+nothing in the protocol *prevents* it (§6.1).  This experiment injects
+the behaviour the paper worried about — a large pool refusing to mine
+scam-flagged transactions — and shows the paper's own symmetric
+deceleration test catches it, while pools that merely ignore the
+transactions stay clean.
+"""
+
+from __future__ import annotations
+
+from ..core.audit import Auditor
+from ..core.stattests import STRONG_EVIDENCE_P
+from ..mining.policies import CensorPolicy, address_predicate
+from ..simulation.scenarios import dataset_c_scenario, find_pool
+from .base import DataContext, ExperimentResult, check
+from .tables import render_table
+
+PAPER = {
+    "context": "Table 3 found no deceleration; §6.1 asks whether norms "
+    "should forbid discriminating by wallet address",
+    "expectation": "the symmetric test flags an injected censor",
+}
+
+#: The pool we turn into a censor for this experiment.
+CENSOR_POOL = "Poolin"
+
+
+def _censoring_dataset(scale: float):
+    """Dataset C with one large pool censoring the scam wallet.
+
+    The scam episode is widened (more payments over a longer window)
+    relative to the stock scenario so the deceleration test has enough
+    c-blocks to be well powered; the paper's own §5.1.2 test needs
+    y on the order of dozens of blocks to resolve θ0 ~ 0.15 down to 0.
+    """
+    scenario = dataset_c_scenario(seed=2020_06_06, scale=scale)
+    injections = scenario.workload_config.injections
+    duration = scenario.engine_config.duration
+    injections.scam_count = max(int(600 * scale), 120)
+    injections.scam_window = (duration * 0.2, duration * 0.9)
+    censor = find_pool(scenario, CENSOR_POOL)
+    assert censor is not None
+    # The scam wallet address is deterministic (see workload generator).
+    from repro.chain.address import AddressFactory
+
+    scam_wallet = frozenset({AddressFactory("scam-wallet").next()})
+    censor.policy = CensorPolicy(
+        base=censor.policy, banned=address_predicate(scam_wallet)
+    )
+    return scenario.run().dataset
+
+
+def run(ctx: DataContext) -> ExperimentResult:
+    """Inject a censor and run Table 3's tests against it."""
+    dataset = _censoring_dataset(scale=max(ctx.scale, 0.15))
+    auditor = Auditor(dataset)
+    rows = auditor.scam_table()
+    table_rows = [
+        (
+            row.pool,
+            row.test.theta0,
+            row.test.x,
+            row.test.y,
+            row.test.p_accelerate,
+            row.test.p_decelerate,
+        )
+        for row in rows
+    ]
+    rendered = render_table(
+        ["mining pool", "theta0", "x", "y", "p (accel)", "p (decel)"],
+        table_rows,
+        title=f"Scam-payment tests with {CENSOR_POOL} censoring the scam wallet",
+    )
+    by_pool = {row.pool: row for row in rows}
+    censor_row = by_pool.get(CENSOR_POOL)
+    false_decelerators = [
+        row.pool
+        for row in rows
+        if row.pool != CENSOR_POOL and row.test.decelerates(STRONG_EVIDENCE_P)
+    ]
+    measured = {
+        "censor_p_decelerate": censor_row.test.p_decelerate if censor_row else None,
+        "censor_x": censor_row.test.x if censor_row else None,
+        "censor_y": censor_row.test.y if censor_row else None,
+        "false_decelerators": false_decelerators,
+    }
+    checks = [
+        check(
+            f"the injected censor ({CENSOR_POOL}) is flagged by the "
+            "deceleration test",
+            censor_row is not None and censor_row.test.decelerates(0.01),
+            f"p={censor_row.test.p_decelerate:.2e}" if censor_row else "missing",
+        ),
+        check(
+            "the censor mined (almost) no scam blocks despite its hash power",
+            censor_row is not None
+            and censor_row.test.observed_share < 0.5 * censor_row.test.theta0,
+            (
+                f"x={censor_row.test.x} of y={censor_row.test.y} at "
+                f"theta0={censor_row.test.theta0:.3f}"
+                if censor_row
+                else "missing"
+            ),
+        ),
+        check(
+            "no honest pool is falsely flagged for deceleration",
+            not false_decelerators,
+            f"false={false_decelerators}",
+        ),
+    ]
+    return ExperimentResult(
+        experiment_id="ext_censorship",
+        title="Censorship detection (extension of Table 3 / §6.1)",
+        paper=PAPER,
+        measured=measured,
+        rendered=rendered,
+        checks=checks,
+    )

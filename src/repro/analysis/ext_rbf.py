@@ -1,0 +1,185 @@
+"""Extension: public fee-bumping (RBF) vs opaque dark-fee acceleration.
+
+Both channels rescue a stuck low-fee transaction, but they differ in
+exactly the dimension the paper's title is about: *transparency*.  A
+replace-by-fee bump broadcasts its new fee to every miner; a dark-fee
+payment is visible only to the accelerating pool.  This experiment
+compares the two channels inside the dataset-C analogue on commit
+delay, cost, and on-chain visibility — quantifying §5.4.1's question
+of why a rational user would ever pick the opaque channel, and §6's
+warning about what opaque fees do to everyone else's view.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.congestion import commit_delays_in_blocks
+from ..datasets.records import LABEL_LOW_FEE, LABEL_RBF_BUMP
+from ..mining.acceleration import AccelerationPricer
+from ..simulation.scenarios import BTC_COM_SERVICE
+from .base import DataContext, ExperimentResult, check
+from .tables import render_table
+
+PAPER = {
+    "context": "§5.4.1: acceleration fees would top the mempool if public; "
+    "§6: opaque fees break other users' fee estimation",
+    "expectation": "both channels accelerate; the dark channel costs far "
+    "more and hides its price from the chain",
+}
+
+
+def _delays(dataset, records) -> np.ndarray:
+    committed = [r for r in records if r.committed]
+    if not committed:
+        return np.empty(0)
+    return commit_delays_in_blocks(
+        [r.broadcast_time for r in committed],
+        [r.commit_height for r in committed],
+        dataset.block_times(),
+    )
+
+
+def run(ctx: DataContext) -> ExperimentResult:
+    """Compare the two acceleration channels inside dataset C."""
+    dataset = ctx.dataset_c()
+    pricer = AccelerationPricer()
+
+    bumps = [
+        dataset.tx_records[t] for t in dataset.labelled_txids(LABEL_RBF_BUMP)
+    ]
+    dark = [
+        dataset.tx_records[t]
+        for t in dataset.accelerated_txids(BTC_COM_SERVICE)
+    ]
+    untouched = [
+        dataset.tx_records[t] for t in dataset.labelled_txids(LABEL_LOW_FEE)
+    ]
+
+    bump_delays = _delays(dataset, bumps)
+    dark_delays = _delays(dataset, dark)
+    untouched_delays = _delays(dataset, untouched)
+
+    # Channel costs. RBF: extra fee paid publicly (the bump's whole fee
+    # is on-chain). Dark: the quoted acceleration fee (deterministic per
+    # txid), of which the chain sees only the token public fee.
+    bump_costs = np.asarray([r.fee for r in bumps], dtype=float)
+    bump_cost_rates = np.asarray(
+        [r.fee / r.vsize for r in bumps], dtype=float
+    )
+    dark_costs = np.asarray(
+        [pricer.quote(r.txid, r.fee).acceleration_fee for r in dark],
+        dtype=float,
+    )
+    dark_cost_rates = np.asarray(
+        [
+            pricer.quote(r.txid, r.fee).acceleration_fee / r.vsize
+            for r in dark
+        ],
+        dtype=float,
+    )
+    dark_visible = np.asarray([r.fee for r in dark], dtype=float)
+    visible_share = (
+        float(dark_visible.sum() / (dark_visible.sum() + dark_costs.sum()))
+        if dark.__len__()
+        else float("nan")
+    )
+
+    def row(label, records, delays, costs, cost_rates, visible) -> tuple:
+        committed = sum(1 for r in records if r.committed)
+        return (
+            label,
+            len(records),
+            committed,
+            float(np.median(delays)) if delays.size else float("nan"),
+            float(np.median(costs)) if costs.size else float("nan"),
+            float(np.median(cost_rates)) if cost_rates.size else float("nan"),
+            visible,
+        )
+
+    rendered = render_table(
+        [
+            "channel",
+            "txs",
+            "committed",
+            "median delay (blocks)",
+            "median cost (sat)",
+            "median cost (sat/vB)",
+            "cost visible on-chain",
+        ],
+        [
+            row("none (stuck low-fee)", untouched, untouched_delays,
+                np.asarray([r.fee for r in untouched], dtype=float),
+                np.asarray([r.fee_rate for r in untouched], dtype=float),
+                "yes"),
+            row("RBF fee bump (public)", bumps, bump_delays, bump_costs,
+                bump_cost_rates, "yes"),
+            row(
+                "dark-fee acceleration (opaque)",
+                dark,
+                dark_delays,
+                dark_costs,
+                dark_cost_rates,
+                f"{visible_share:.1%} of true cost",
+            ),
+        ],
+        title="Two ways to accelerate a stuck transaction",
+    )
+    measured = {
+        "bump_median_delay": float(np.median(bump_delays)) if bump_delays.size else None,
+        "dark_median_delay": float(np.median(dark_delays)) if dark_delays.size else None,
+        "dark_over_bump_cost_per_vb": (
+            float(np.median(dark_cost_rates) / np.median(bump_cost_rates))
+            if bump_cost_rates.size and dark_cost_rates.size
+            else None
+        ),
+        "dark_cost_visible_share": round(visible_share, 4),
+    }
+    untouched_commit_rate = (
+        sum(1 for r in untouched if r.committed) / len(untouched)
+        if untouched
+        else float("nan")
+    )
+    dark_commit_rate = (
+        sum(1 for r in dark if r.committed) / len(dark) if dark else 0.0
+    )
+    checks = [
+        check(
+            "both acceleration channels beat leaving the transaction stuck",
+            dark_delays.size > 0
+            and bump_delays.size > 0
+            and dark_commit_rate > untouched_commit_rate,
+            f"commit rates: dark {dark_commit_rate:.2f} vs stuck "
+            f"{untouched_commit_rate:.2f}",
+        ),
+        check(
+            "per vbyte, the opaque channel costs several times the "
+            "public one",
+            bool(bump_cost_rates.size)
+            and bool(dark_cost_rates.size)
+            and float(np.median(dark_cost_rates))
+            > 3 * float(np.median(bump_cost_rates)),
+            f"median dark {np.median(dark_cost_rates):.0f} vs bump "
+            f"{np.median(bump_cost_rates):.0f} sat/vB",
+        ),
+        check(
+            "the chain sees only a sliver of the dark channel's true price",
+            visible_share == visible_share and visible_share < 0.1,
+            f"visible share {visible_share:.2%}",
+        ),
+        check(
+            "dark-fee transactions commit promptly despite tiny public fees",
+            dark_delays.size > 0 and float(np.median(dark_delays)) <= 12.0,
+            f"median delay {np.median(dark_delays):.0f} blocks"
+            if dark_delays.size
+            else "-",
+        ),
+    ]
+    return ExperimentResult(
+        experiment_id="ext_rbf",
+        title="Public (RBF) vs opaque (dark-fee) acceleration",
+        paper=PAPER,
+        measured=measured,
+        rendered=rendered,
+        checks=checks,
+    )

@@ -1,0 +1,105 @@
+"""Fig 3 — chain growth and mempool congestion.
+
+(a) cumulative blocks grow linearly while transactions accelerate
+(60% of all transactions in the last 3.5 years); (b) the mempool is
+congested (>1 MvB pending) ~75% of the time in dataset A and ~92% in
+dataset B; (c) the pending size fluctuates over an order of magnitude.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..simulation.history import chain_growth_series, recent_transaction_share
+from .base import DataContext, ExperimentResult, check
+from .tables import render_kv, render_table
+
+PAPER = {
+    "recent_tx_share_last_3.5y": 0.60,
+    "A_congested_fraction": 0.75,
+    "B_congested_fraction": 0.92,
+    "peak_backlog_vs_block_size": 15.0,
+}
+
+
+def run(ctx: DataContext) -> ExperimentResult:
+    """Regenerate Fig 3's growth and congestion series."""
+    growth = chain_growth_series()
+    recent_share = recent_transaction_share(growth)
+
+    dataset_a = ctx.dataset_a()
+    dataset_b = ctx.dataset_b()
+    series_a = dataset_a.size_series
+    series_b = dataset_b.size_series
+    assert series_a is not None and series_b is not None
+
+    sizes_a = np.asarray(series_a.sizes(), dtype=float)
+    sizes_b = np.asarray(series_b.sizes(), dtype=float)
+    congested_a = series_a.congested_fraction()
+    congested_b = series_b.congested_fraction()
+    peak_multiple_a = float(sizes_a.max() / 1e6) if sizes_a.size else 0.0
+    peak_multiple_b = float(sizes_b.max() / 1e6) if sizes_b.size else 0.0
+
+    growth_rows = [
+        (int(year), f"{blocks:.3g}", f"{txs:.3g}")
+        for year, blocks, txs in zip(
+            growth["years"], growth["cumulative_blocks"], growth["cumulative_txs"]
+        )
+    ]
+    rendered = "\n\n".join(
+        [
+            render_table(
+                ["year", "cumulative blocks", "cumulative txs"],
+                growth_rows,
+                title="Fig 3a: chain growth",
+            ),
+            render_kv(
+                [
+                    ("txs issued in last 3.5 years (share)", recent_share),
+                    ("dataset A congested fraction", congested_a),
+                    ("dataset B congested fraction", congested_b),
+                    ("dataset A peak backlog (x block size)", peak_multiple_a),
+                    ("dataset B peak backlog (x block size)", peak_multiple_b),
+                ],
+                title="Fig 3b/3c: mempool congestion",
+            ),
+        ]
+    )
+    measured = {
+        "recent_tx_share_last_3.5y": round(recent_share, 3),
+        "A_congested_fraction": round(congested_a, 3),
+        "B_congested_fraction": round(congested_b, 3),
+        "A_peak_backlog_multiple": round(peak_multiple_a, 1),
+        "B_peak_backlog_multiple": round(peak_multiple_b, 1),
+    }
+    checks = [
+        check(
+            "blocks grow linearly while transactions accelerate "
+            "(~60% of txs in the last 3.5 years)",
+            0.45 <= recent_share <= 0.75,
+            f"share={recent_share:.2f}",
+        ),
+        check(
+            "dataset A mempool congested most of the time",
+            congested_a > 0.5,
+            f"{congested_a:.2f}",
+        ),
+        check(
+            "dataset B more congested than dataset A",
+            congested_b > congested_a,
+            f"B={congested_b:.2f} A={congested_a:.2f}",
+        ),
+        check(
+            "backlog peaks at several block sizes",
+            max(peak_multiple_a, peak_multiple_b) >= 3.0,
+            f"A={peak_multiple_a:.1f}x B={peak_multiple_b:.1f}x",
+        ),
+    ]
+    return ExperimentResult(
+        experiment_id="fig3",
+        title="Chain growth and mempool congestion",
+        paper=PAPER,
+        measured=measured,
+        rendered=rendered,
+        checks=checks,
+    )

@@ -1,0 +1,139 @@
+"""Appendix figures 9-12 — dataset B's congestion, fees, and delays.
+
+Fig 9: dataset B's mempool size fluctuates far more than dataset A's
+(the June 2019 price-surge congestion).  Fig 11: fee-rates rise with
+congestion in B too.  Fig 12: higher fee bands commit faster in B.
+(Fig 10, per-pool fee-rate distributions, is covered here as well: the
+paper finds no major differences across pools.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.audit import Auditor
+from ..core.congestion import FEE_BAND_LABELS, dataset_fee_rates_by_pool
+from ..mempool.snapshots import CONGESTION_BINS
+from .base import DataContext, ExperimentResult, check
+from .cdf import dominates, quantile_table
+from .tables import render_kv, render_table
+
+PAPER = {
+    "B_more_volatile_than_A": True,
+    "fees_rise_with_congestion_in_B": True,
+    "higher_fees_commit_faster_in_B": True,
+    "pool_fee_distributions_similar": True,
+}
+
+
+def run(ctx: DataContext) -> ExperimentResult:
+    """Regenerate the appendix dataset-B analyses."""
+    dataset_a = ctx.dataset_a()
+    dataset_b = ctx.dataset_b()
+    auditor_b = Auditor(dataset_b)
+
+    sizes_a = np.asarray(dataset_a.size_series.sizes(), dtype=float)
+    sizes_b = np.asarray(dataset_b.size_series.sizes(), dtype=float)
+    std_a = float(sizes_a.std()) if sizes_a.size else 0.0
+    std_b = float(sizes_b.std()) if sizes_b.size else 0.0
+
+    by_congestion = auditor_b.fee_rates_by_congestion_level()
+    populated = [
+        by_congestion[label]
+        for label in CONGESTION_BINS
+        if len(by_congestion[label]) >= 30
+    ]
+    rising = len(populated) >= 2 and all(
+        dominates(populated[i], populated[i + 1], tolerance=0.12)
+        for i in range(len(populated) - 1)
+    )
+
+    by_band = auditor_b.delay_by_fee_band(include_censored=True)
+    low, high, exorbitant = (by_band[label] for label in FEE_BAND_LABELS)
+    faster = (
+        len(high) > 10
+        and len(low) > 10
+        and dominates(high, low)
+        and (len(exorbitant) <= 10 or dominates(exorbitant, high))
+    )
+
+    # Fig 10: per-pool fee-rate medians should be mutually close.
+    by_pool = dataset_fee_rates_by_pool(
+        dataset_a.commit_pools(), dataset_a.fee_rates()
+    )
+    top5 = [
+        est.pool for est in dataset_a.hash_rates() if est.pool != "unknown"
+    ][:5]
+    pool_medians = {
+        pool: float(np.median(by_pool[pool]))
+        for pool in top5
+        if pool in by_pool and len(by_pool[pool])
+    }
+    medians = list(pool_medians.values())
+    similar = (
+        len(medians) >= 3 and max(medians) <= 5.0 * min(medians)
+    )
+
+    delay_rows = [
+        (label, len(by_band[label]), *quantile_table({label: by_band[label]}, (0.5, 0.9))[label])
+        for label in FEE_BAND_LABELS
+    ]
+    rendered = "\n\n".join(
+        [
+            render_kv(
+                [
+                    ("dataset A mempool size std (vB)", std_a),
+                    ("dataset B mempool size std (vB)", std_b),
+                    ("B/A volatility ratio", std_b / std_a if std_a else float("inf")),
+                ],
+                title="Fig 9: mempool size volatility",
+            ),
+            render_table(
+                ["congestion bin", "txs", "median fee sat/vB"],
+                [
+                    (label, len(by_congestion[label]),
+                     float(np.median(by_congestion[label])) if len(by_congestion[label]) else float("nan"))
+                    for label in CONGESTION_BINS
+                ],
+                title="Fig 11: fee-rates by congestion (dataset B)",
+            ),
+            render_table(
+                ["fee band", "txs", "p50 delay", "p90 delay"],
+                delay_rows,
+                title="Fig 12: delays by fee band (dataset B)",
+            ),
+            render_table(
+                ["pool", "median committed fee sat/vB"],
+                sorted(pool_medians.items()),
+                title="Fig 10: per-pool committed fee-rate medians (dataset A)",
+            ),
+        ]
+    )
+    measured = {
+        "B_over_A_volatility": round(std_b / std_a, 2) if std_a else None,
+        "fees_rise_with_congestion_in_B": rising,
+        "higher_fees_commit_faster_in_B": faster,
+        "pool_fee_medians": {k: round(v, 2) for k, v in pool_medians.items()},
+    }
+    checks = [
+        check(
+            "dataset B's mempool is more volatile than dataset A's",
+            std_b > std_a,
+            f"B={std_b:.3g} A={std_a:.3g}",
+        ),
+        check("fee-rates rise with congestion in dataset B", rising),
+        check("higher fee bands commit faster in dataset B", faster),
+        check(
+            "per-pool fee-rate distributions show no major differences",
+            similar,
+            f"medians={pool_medians}",
+        ),
+    ]
+    return ExperimentResult(
+        experiment_id="fig9_12",
+        title="Dataset B appendix analyses (Figs 9-12)",
+        paper=PAPER,
+        measured=measured,
+        rendered=rendered,
+        checks=checks,
+    )

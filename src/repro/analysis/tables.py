@@ -1,0 +1,58 @@
+"""Plain-text table rendering for experiment output.
+
+Every experiment prints paper-vs-measured rows through this renderer,
+so benchmark logs and EXPERIMENTS.md share one format.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+
+def format_cell(value: object, precision: int = 4) -> str:
+    """Human-friendly formatting: floats trimmed, small p-values in e-notation."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if value == 0.0:
+            return "0"
+        if abs(value) < 10 ** (-precision) or abs(value) >= 10**7:
+            return f"{value:.2e}"
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+    precision: int = 4,
+) -> str:
+    """Render an aligned ASCII table."""
+    text_rows = [[format_cell(cell, precision) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_kv(pairs: Sequence[tuple[str, object]], title: Optional[str] = None) -> str:
+    """Render key/value facts, one per line."""
+    width = max((len(k) for k, _ in pairs), default=0)
+    lines = [title] if title else []
+    for key, value in pairs:
+        lines.append(f"{key.ljust(width)}  {format_cell(value)}")
+    return "\n".join(lines)

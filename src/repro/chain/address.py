@@ -1,0 +1,74 @@
+"""Wallet addresses.
+
+Addresses in this simulator are opaque identifiers derived from a keyed
+hash, shaped like (but not interchangeable with) real Bitcoin P2PKH
+addresses.  The audit layer only ever compares addresses for equality and
+groups transactions by the address sets they touch, so a deterministic
+digest is a faithful substitute for real key material.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Iterator
+
+_B58_ALPHABET = "123456789ABCDEFGHJKLMNPQRSTUVWXYZabcdefghijkmnopqrstuvwxyz"
+
+
+def _base58(data: bytes) -> str:
+    """Encode bytes with the Bitcoin base-58 alphabet (no checksum)."""
+    num = int.from_bytes(data, "big")
+    out = []
+    while num:
+        num, rem = divmod(num, 58)
+        out.append(_B58_ALPHABET[rem])
+    # Preserve leading zero bytes as '1', matching base58check convention.
+    for byte in data:
+        if byte:
+            break
+        out.append("1")
+    return "".join(reversed(out)) or "1"
+
+
+def derive_address(seed: str) -> str:
+    """Derive a deterministic P2PKH-looking address from a seed string.
+
+    The same seed always yields the same address, which is what lets
+    scenarios and tests refer to wallets by human-readable seeds while the
+    chain stores realistic-looking identifiers.
+
+    >>> derive_address("f2pool/reward/0") == derive_address("f2pool/reward/0")
+    True
+    """
+    digest = hashlib.sha256(seed.encode("utf-8")).digest()[:20]
+    return "1" + _base58(digest)
+
+
+@dataclass
+class AddressFactory:
+    """Mint fresh deterministic addresses under a namespace.
+
+    Each factory owns a namespace so independent subsystems (user wallets,
+    pool reward wallets, scam wallets) can mint addresses concurrently
+    without collisions while remaining reproducible.
+    """
+
+    namespace: str
+    _counter: int = field(default=0, repr=False)
+
+    def next(self) -> str:
+        """Mint and return the next address in this namespace."""
+        address = derive_address(f"{self.namespace}/{self._counter}")
+        self._counter += 1
+        return address
+
+    def batch(self, count: int) -> list[str]:
+        """Mint ``count`` fresh addresses."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        return [self.next() for _ in range(count)]
+
+    def __iter__(self) -> Iterator[str]:
+        while True:
+            yield self.next()

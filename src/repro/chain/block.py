@@ -1,0 +1,159 @@
+"""Blocks and block headers.
+
+A block records the *ordered* list of transactions a miner committed —
+the central object of the paper's audit, since both PPE and the
+statistical prioritization tests are functions of in-block position.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence
+
+from .constants import MAX_BLOCK_VSIZE
+from .transaction import CoinbaseTransaction, Transaction
+
+
+def merkle_root(txids: Sequence[str]) -> str:
+    """Compute a (simplified, single-SHA256) merkle root over txids.
+
+    Bitcoin duplicates the last node of odd-length levels; we follow the
+    same rule so the structure matches, even though we hash hex strings
+    rather than little-endian digests.
+    """
+    if not txids:
+        return hashlib.sha256(b"").hexdigest()
+    level = [txid.encode("ascii") for txid in txids]
+    while len(level) > 1:
+        if len(level) % 2 == 1:
+            level.append(level[-1])
+        level = [
+            hashlib.sha256(level[i] + level[i + 1]).digest().hex().encode("ascii")
+            for i in range(0, len(level), 2)
+        ]
+    return level[0].decode("ascii")
+
+
+@dataclass(frozen=True)
+class BlockHeader:
+    """Minimal block header: linkage, commitment, and timestamp."""
+
+    height: int
+    prev_hash: str
+    merkle_root: str
+    timestamp: float
+    miner_nonce: int = 0
+    block_hash: str = field(init=False)
+
+    def __post_init__(self) -> None:
+        hasher = hashlib.sha256()
+        hasher.update(self.height.to_bytes(8, "little", signed=False))
+        hasher.update(self.prev_hash.encode("ascii"))
+        hasher.update(self.merkle_root.encode("ascii"))
+        hasher.update(repr(self.timestamp).encode("ascii"))
+        hasher.update(self.miner_nonce.to_bytes(8, "little", signed=False))
+        object.__setattr__(self, "block_hash", hasher.hexdigest())
+
+
+GENESIS_HASH = "0" * 64
+
+
+@dataclass(frozen=True)
+class Block:
+    """An ordered set of transactions committed by one miner.
+
+    ``transactions`` excludes the coinbase: position 0 in the paper's
+    position metrics is the first *non-coinbase* transaction, matching
+    how the authors compute PPE over the fee-paying transactions only.
+    """
+
+    header: BlockHeader
+    coinbase: CoinbaseTransaction
+    transactions: tuple[Transaction, ...]
+
+    def __post_init__(self) -> None:
+        vsize = self.vsize
+        if vsize > MAX_BLOCK_VSIZE:
+            raise ValueError(
+                f"block vsize {vsize} exceeds the {MAX_BLOCK_VSIZE} vB limit"
+            )
+        seen: set[str] = set()
+        for tx in self.transactions:
+            if tx.txid in seen:
+                raise ValueError(f"duplicate transaction {tx.txid} in block")
+            seen.add(tx.txid)
+
+    @property
+    def height(self) -> int:
+        return self.header.height
+
+    @property
+    def block_hash(self) -> str:
+        return self.header.block_hash
+
+    @property
+    def timestamp(self) -> float:
+        return self.header.timestamp
+
+    @property
+    def vsize(self) -> int:
+        """Total virtual size including the coinbase."""
+        return self.coinbase.vsize + sum(tx.vsize for tx in self.transactions)
+
+    @property
+    def total_fees(self) -> int:
+        """Fees collected from all committed transactions, in satoshi."""
+        return sum(tx.fee for tx in self.transactions)
+
+    @property
+    def is_empty(self) -> bool:
+        """True for blocks containing only the coinbase.
+
+        Pools mine empty blocks while validating a predecessor; the paper
+        counts them per dataset in Table 1.
+        """
+        return not self.transactions
+
+    @property
+    def tx_count(self) -> int:
+        """Number of non-coinbase transactions."""
+        return len(self.transactions)
+
+    def __len__(self) -> int:
+        return len(self.transactions)
+
+    def __iter__(self) -> Iterator[Transaction]:
+        return iter(self.transactions)
+
+    def position_of(self, txid: str) -> Optional[int]:
+        """0-based in-block position of ``txid``, or None if absent."""
+        for position, tx in enumerate(self.transactions):
+            if tx.txid == txid:
+                return position
+        return None
+
+    def positions(self) -> dict[str, int]:
+        """Map txid -> 0-based in-block position for all transactions."""
+        return {tx.txid: position for position, tx in enumerate(self.transactions)}
+
+
+def build_block(
+    height: int,
+    prev_hash: str,
+    timestamp: float,
+    coinbase: CoinbaseTransaction,
+    transactions: Sequence[Transaction],
+    miner_nonce: int = 0,
+) -> Block:
+    """Assemble a :class:`Block`, computing the merkle commitment."""
+    txs = tuple(transactions)
+    root = merkle_root([coinbase.txid] + [tx.txid for tx in txs])
+    header = BlockHeader(
+        height=height,
+        prev_hash=prev_hash,
+        merkle_root=root,
+        timestamp=timestamp,
+        miner_nonce=miner_nonce,
+    )
+    return Block(header=header, coinbase=coinbase, transactions=txs)

@@ -1,0 +1,178 @@
+"""The chain container: an append-only, validated list of blocks.
+
+Besides storage, this module provides the lookups the audit layer leans
+on: where a transaction was committed, at which in-block position, and
+which addresses a transaction's inputs draw from (needed to recognise a
+pool *sending* coins, not only receiving them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional, Sequence
+
+from .block import GENESIS_HASH, Block
+from .transaction import Transaction
+
+
+class ChainValidationError(Exception):
+    """Raised when an appended block does not extend the chain correctly."""
+
+
+@dataclass(frozen=True)
+class TxLocation:
+    """Where a transaction landed: block height and 0-based position."""
+
+    height: int
+    position: int
+
+
+class Blockchain:
+    """An append-only sequence of blocks with transaction indices.
+
+    The class validates linkage (prev-hash and height continuity) and
+    monotonically non-decreasing timestamps, and maintains:
+
+    * ``location_of(txid)`` — commit height and in-block position,
+    * ``transaction(txid)`` — the transaction object itself,
+    * ``resolve_input_addresses(tx)`` — addresses funding a transaction,
+      resolved against outputs committed earlier in this chain.
+    """
+
+    def __init__(self, blocks: Iterable[Block] = ()) -> None:
+        self._blocks: list[Block] = []
+        self._locations: dict[str, TxLocation] = {}
+        self._transactions: dict[str, Transaction] = {}
+        # UTXO-lite bookkeeping: every spent outpoint, for double-spend
+        # rejection (the chain-level guarantee RBF races rely on).
+        self._spent_outpoints: dict[object, str] = {}
+        for block in blocks:
+            self.append(block)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def append(self, block: Block) -> None:
+        """Validate and append ``block`` at the tip."""
+        expected_height = len(self._blocks)
+        if block.height != expected_height:
+            raise ChainValidationError(
+                f"expected height {expected_height}, got {block.height}"
+            )
+        expected_prev = self.tip_hash
+        if block.header.prev_hash != expected_prev:
+            raise ChainValidationError(
+                f"block {block.height} prev_hash {block.header.prev_hash[:12]}… "
+                f"does not match tip {expected_prev[:12]}…"
+            )
+        if self._blocks and block.timestamp < self._blocks[-1].timestamp:
+            raise ChainValidationError(
+                f"block {block.height} timestamp {block.timestamp} precedes tip "
+                f"timestamp {self._blocks[-1].timestamp}"
+            )
+        block_spends: dict[object, str] = {}
+        for tx in block.transactions:
+            if tx.txid in self._locations:
+                raise ChainValidationError(
+                    f"transaction {tx.txid[:12]}… already committed"
+                )
+            for txin in tx.inputs:
+                spender = self._spent_outpoints.get(
+                    txin.prevout
+                ) or block_spends.get(txin.prevout)
+                if spender is not None:
+                    raise ChainValidationError(
+                        f"double spend of {txin.prevout} by "
+                        f"{tx.txid[:12]}… (already spent by {spender[:12]}…)"
+                    )
+                block_spends[txin.prevout] = tx.txid
+        self._blocks.append(block)
+        self._transactions[block.coinbase.txid] = block.coinbase
+        self._spent_outpoints.update(block_spends)
+        for position, tx in enumerate(block.transactions):
+            self._locations[tx.txid] = TxLocation(block.height, position)
+            self._transactions[tx.txid] = tx
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    @property
+    def tip_hash(self) -> str:
+        """Hash of the last block, or the genesis sentinel when empty."""
+        return self._blocks[-1].block_hash if self._blocks else GENESIS_HASH
+
+    @property
+    def height(self) -> int:
+        """Height of the tip (-1 when the chain is empty)."""
+        return len(self._blocks) - 1
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __iter__(self) -> Iterator[Block]:
+        return iter(self._blocks)
+
+    def __getitem__(self, height: int) -> Block:
+        return self._blocks[height]
+
+    def blocks(self, start: int = 0, stop: Optional[int] = None) -> Sequence[Block]:
+        """Blocks in ``[start, stop)`` by height."""
+        return self._blocks[start:stop]
+
+    def location_of(self, txid: str) -> Optional[TxLocation]:
+        """Commit location of ``txid`` or None if unconfirmed."""
+        return self._locations.get(txid)
+
+    def contains(self, txid: str) -> bool:
+        """True if ``txid`` is committed (coinbases included)."""
+        return txid in self._transactions
+
+    def is_spent(self, outpoint) -> bool:
+        """True if any committed transaction already spends ``outpoint``."""
+        return outpoint in self._spent_outpoints
+
+    def transaction(self, txid: str) -> Optional[Transaction]:
+        """The committed transaction with this id, if any."""
+        return self._transactions.get(txid)
+
+    def iter_transactions(self) -> Iterator[tuple[Block, int, Transaction]]:
+        """Yield (block, position, transaction) over all committed txs."""
+        for block in self._blocks:
+            for position, tx in enumerate(block.transactions):
+                yield block, position, tx
+
+    # ------------------------------------------------------------------
+    # Address resolution
+    # ------------------------------------------------------------------
+    def resolve_input_addresses(self, tx: Transaction) -> frozenset[str]:
+        """Addresses owning the outputs that ``tx`` spends.
+
+        Inputs referencing transactions outside this chain (synthetic
+        UTXOs minted by workload builders) resolve to nothing, which is
+        the honest answer: the auditor cannot attribute them either.
+        """
+        addresses: set[str] = set()
+        for txin in tx.inputs:
+            parent = self._transactions.get(txin.parent_txid)
+            if parent is None:
+                continue
+            if 0 <= txin.prevout.index < len(parent.outputs):
+                addresses.add(parent.outputs[txin.prevout.index].address)
+        return frozenset(addresses)
+
+    def transactions_touching(self, addresses: frozenset[str]) -> list[str]:
+        """Txids of committed transactions sending to or from ``addresses``.
+
+        This mirrors the paper's §5.2 procedure for finding a pool's
+        self-interest transactions: every committed transaction in which a
+        pool wallet is a sender or a receiver.
+        """
+        touching: list[str] = []
+        for block in self._blocks:
+            for tx in block.transactions:
+                if tx.touches_address(addresses):
+                    touching.append(tx.txid)
+                    continue
+                if self.resolve_input_addresses(tx) & addresses:
+                    touching.append(tx.txid)
+        return touching

@@ -1,0 +1,72 @@
+"""Protocol constants shared across the chain, mempool and mining layers.
+
+All monetary quantities in this code base are integers denominated in
+satoshi (1 BTC == 100_000_000 satoshi), mirroring Bitcoin Core.  All
+transaction and block sizes are *virtual* sizes in vbytes: one vbyte
+corresponds to four weight units as defined in BIP-141, which is the size
+notion the paper uses throughout ("the term size refers to virtual size").
+
+Fee-*rates* are expressed in satoshi per vbyte (sat/vB).  The paper often
+quotes BTC/KB; 1 sat/vB == 1e-5 BTC/KB, so the recommended minimum of
+1e-5 BTC/KB equals 1 sat/vB.
+"""
+
+from __future__ import annotations
+
+#: Satoshi per bitcoin.
+COIN = 100_000_000
+
+#: Maximum virtual size of a block in vbytes (the 1 MB limit the paper uses).
+MAX_BLOCK_VSIZE = 1_000_000
+
+#: Default minimum relay fee-rate (sat/vB).  Transactions below this rate
+#: are rejected by default-configured nodes — the paper's norm III.
+DEFAULT_MIN_RELAY_FEE_RATE = 1.0
+
+#: Target seconds between blocks enforced by difficulty adjustment.
+TARGET_BLOCK_INTERVAL = 600.0
+
+#: Block subsidy halving period, in blocks.
+HALVING_INTERVAL = 210_000
+
+#: Initial block subsidy in satoshi (50 BTC).
+INITIAL_SUBSIDY = 50 * COIN
+
+#: Number of block positions by which the coinbase always precedes
+#: every other transaction in a block.
+COINBASE_POSITION = 0
+
+#: Approximate vsize of a minimal one-input two-output transaction.
+MIN_TX_VSIZE = 110
+
+#: Mempool snapshot cadence used by the paper's observer nodes (seconds).
+SNAPSHOT_INTERVAL = 15.0
+
+
+def block_subsidy(height: int) -> int:
+    """Return the block subsidy in satoshi at a given block height.
+
+    The subsidy starts at 50 BTC and halves every ``HALVING_INTERVAL``
+    blocks, reaching zero after 64 halvings exactly as in Bitcoin Core.
+
+    >>> block_subsidy(0)
+    5000000000
+    >>> block_subsidy(210_000)
+    2500000000
+    """
+    if height < 0:
+        raise ValueError(f"height must be non-negative, got {height}")
+    halvings = height // HALVING_INTERVAL
+    if halvings >= 64:
+        return 0
+    return INITIAL_SUBSIDY >> halvings
+
+
+def btc_per_kb_to_sat_per_vb(rate_btc_kb: float) -> float:
+    """Convert a fee-rate from BTC/KB (paper units) to sat/vB."""
+    return rate_btc_kb * COIN / 1000.0
+
+
+def sat_per_vb_to_btc_per_kb(rate_sat_vb: float) -> float:
+    """Convert a fee-rate from sat/vB to BTC/KB (paper units)."""
+    return rate_sat_vb * 1000.0 / COIN

@@ -1,0 +1,294 @@
+"""Transactions: inputs, outputs, fees and fee-rates.
+
+The model keeps exactly the attributes the paper's audit requires: a
+stable identifier, the referenced parent outputs (to detect CPFP
+dependencies and self-interest payments), the output addresses and values
+(to find pool-owned wallets), the virtual size, and the fee.  Signatures
+and script execution are out of scope: the audit never validates
+signatures, only value conservation and ancestry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+
+@dataclass(frozen=True)
+class OutPoint:
+    """Reference to a specific output of a prior transaction."""
+
+    txid: str
+    index: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.txid}:{self.index}"
+
+
+@dataclass(frozen=True)
+class TxInput:
+    """A transaction input spending an existing output."""
+
+    prevout: OutPoint
+
+    @property
+    def parent_txid(self) -> str:
+        """Identifier of the transaction this input spends from."""
+        return self.prevout.txid
+
+
+@dataclass(frozen=True)
+class TxOutput:
+    """A transaction output paying ``value`` satoshi to ``address``."""
+
+    address: str
+    value: int
+
+    def __post_init__(self) -> None:
+        if self.value < 0:
+            raise ValueError(f"output value must be non-negative, got {self.value}")
+
+
+def _compute_txid(inputs: Sequence[TxInput], outputs: Sequence[TxOutput], nonce: int) -> str:
+    """Hash the transaction content into a 64-hex-digit identifier."""
+    hasher = hashlib.sha256()
+    for txin in inputs:
+        hasher.update(txin.prevout.txid.encode("ascii"))
+        hasher.update(txin.prevout.index.to_bytes(4, "little", signed=False))
+    for txout in outputs:
+        hasher.update(txout.address.encode("ascii"))
+        hasher.update(txout.value.to_bytes(8, "little", signed=False))
+    hasher.update(nonce.to_bytes(8, "little", signed=False))
+    return hashlib.sha256(hasher.digest()).hexdigest()
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """An immutable Bitcoin-style transaction.
+
+    Attributes
+    ----------
+    inputs:
+        Outputs being spent.  Empty for coinbase transactions.
+    outputs:
+        Newly created outputs.
+    vsize:
+        Virtual size in vbytes (BIP-141 units); the denominator of the
+        fee-rate norm.
+    fee:
+        Fee in satoshi, i.e. input value minus output value.  Carried
+        explicitly so mempool observers need not resolve parent outputs.
+    nonce:
+        Disambiguator so otherwise identical transactions hash apart.
+    """
+
+    inputs: tuple[TxInput, ...]
+    outputs: tuple[TxOutput, ...]
+    vsize: int
+    fee: int
+    nonce: int = 0
+    txid: str = field(init=False)
+    #: Identifiers of all transactions whose outputs this one spends.
+    #: Precomputed because block assembly queries it in hot loops.
+    parent_txids: frozenset[str] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.vsize <= 0:
+            raise ValueError(f"vsize must be positive, got {self.vsize}")
+        if self.fee < 0:
+            raise ValueError(f"fee must be non-negative, got {self.fee}")
+        object.__setattr__(
+            self, "txid", _compute_txid(self.inputs, self.outputs, self.nonce)
+        )
+        object.__setattr__(
+            self,
+            "parent_txids",
+            frozenset(txin.parent_txid for txin in self.inputs),
+        )
+
+    @property
+    def fee_rate(self) -> float:
+        """Fee-rate in sat/vB — the quantity norms I and II rank by."""
+        return self.fee / self.vsize
+
+    @property
+    def is_coinbase(self) -> bool:
+        """True if this transaction creates coins (no inputs)."""
+        return not self.inputs
+
+    @property
+    def output_value(self) -> int:
+        """Total satoshi paid out by this transaction."""
+        return sum(txout.value for txout in self.outputs)
+
+    def touches_address(self, addresses: frozenset[str]) -> bool:
+        """True if any output pays into ``addresses``.
+
+        Input-side ownership cannot be read off the transaction alone (it
+        requires resolving the parent outputs); callers that need it use
+        :meth:`repro.chain.blockchain.Blockchain.resolve_input_addresses`.
+        """
+        return any(txout.address in addresses for txout in self.outputs)
+
+    def __hash__(self) -> int:
+        return hash(self.txid)
+
+
+def make_transaction(
+    inputs: Sequence[TxInput],
+    outputs: Sequence[TxOutput],
+    vsize: int,
+    fee: int,
+    nonce: int = 0,
+) -> Transaction:
+    """Build a :class:`Transaction` from sequences (convenience wrapper)."""
+    return Transaction(tuple(inputs), tuple(outputs), vsize, fee, nonce)
+
+
+def make_coinbase(
+    reward_address: str,
+    value: int,
+    marker: str,
+    height: int,
+    vsize: int = 200,
+) -> "CoinbaseTransaction":
+    """Create a coinbase paying ``value`` satoshi to ``reward_address``.
+
+    ``marker`` is the pool's tag string embedded in the coinbase, which
+    the attribution logic (following Judmayer et al.) uses to identify the
+    block's mining pool.  ``height`` is mixed into the hash so every
+    block's coinbase is unique, mirroring BIP-34.
+    """
+    return CoinbaseTransaction(
+        inputs=(),
+        outputs=(TxOutput(reward_address, value),),
+        vsize=vsize,
+        fee=0,
+        nonce=height,
+        marker=marker,
+    )
+
+
+@dataclass(frozen=True)
+class CoinbaseTransaction(Transaction):
+    """The block-reward transaction, carrying the pool's coinbase marker."""
+
+    marker: str = ""
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.inputs:
+            raise ValueError("coinbase transactions must not have inputs")
+        # Mix the marker into the txid so identical payouts by different
+        # pools (or re-orgs of the same height) do not collide.
+        base = _compute_txid(self.inputs, self.outputs, self.nonce)
+        hasher = hashlib.sha256(base.encode("ascii"))
+        hasher.update(self.marker.encode("utf-8"))
+        object.__setattr__(self, "txid", hasher.hexdigest())
+
+    def __hash__(self) -> int:
+        return hash(self.txid)
+
+
+def coinbase_value(subsidy: int, total_fees: int) -> int:
+    """Total coinbase payout: subsidy plus all fees in the block."""
+    if subsidy < 0 or total_fees < 0:
+        raise ValueError("subsidy and fees must be non-negative")
+    return subsidy + total_fees
+
+
+def dedupe_transactions(transactions: Sequence[Transaction]) -> list[Transaction]:
+    """Drop duplicate transactions (same txid), keeping first occurrence."""
+    seen: set[str] = set()
+    unique: list[Transaction] = []
+    for tx in transactions:
+        if tx.txid not in seen:
+            seen.add(tx.txid)
+            unique.append(tx)
+    return unique
+
+
+def total_fees(transactions: Sequence[Transaction]) -> int:
+    """Sum of fees over ``transactions``."""
+    return sum(tx.fee for tx in transactions)
+
+
+def total_vsize(transactions: Sequence[Transaction]) -> int:
+    """Sum of virtual sizes over ``transactions``."""
+    return sum(tx.vsize for tx in transactions)
+
+
+class TransactionBuilder:
+    """Mint synthetic spendable transactions with explicit fee and size.
+
+    Workload generators use this to create user transactions whose input
+    side draws on a synthetic UTXO pool.  The builder tracks its own
+    fresh-outpoint counter so consecutive transactions never collide.
+    """
+
+    def __init__(self, namespace: str = "utxo") -> None:
+        self._namespace = namespace
+        self._counter = 0
+        # Next output index to spend per referenced parent, so two
+        # children of one parent never double-spend the same outpoint.
+        self._next_output_index: dict[str, int] = {}
+
+    def _fresh_outpoint(self) -> OutPoint:
+        fake_txid = hashlib.sha256(
+            f"{self._namespace}/{self._counter}".encode("utf-8")
+        ).hexdigest()
+        self._counter += 1
+        return OutPoint(fake_txid, 0)
+
+    def _allocate_parent_outpoint(self, parent_txid: str) -> OutPoint:
+        index = self._next_output_index.get(parent_txid, 0)
+        self._next_output_index[parent_txid] = index + 1
+        return OutPoint(parent_txid, index)
+
+    def build(
+        self,
+        to_address: str,
+        value: int,
+        fee: int,
+        vsize: int,
+        change_address: Optional[str] = None,
+        extra_parents: Sequence[str] = (),
+        nonce: int = 0,
+    ) -> Transaction:
+        """Create a transaction paying ``value`` to ``to_address``.
+
+        ``extra_parents`` lets callers make the transaction spend outputs
+        of specific earlier transactions — the mechanism behind CPFP
+        chains and self-transfer graphs.
+        """
+        inputs = [TxInput(self._fresh_outpoint())]
+        inputs.extend(
+            TxInput(self._allocate_parent_outpoint(parent))
+            for parent in extra_parents
+        )
+        outputs = [TxOutput(to_address, value)]
+        if change_address is not None:
+            outputs.append(TxOutput(change_address, max(value // 10, 1)))
+        return make_transaction(inputs, outputs, vsize=vsize, fee=fee, nonce=nonce)
+
+    def replacement(
+        self,
+        original: Transaction,
+        fee: int,
+        vsize: Optional[int] = None,
+        nonce: int = 0,
+    ) -> Transaction:
+        """A replace-by-fee bump of ``original``: same inputs, new fee.
+
+        The replacement spends exactly the same outpoints (which is what
+        makes the two transactions conflict) and pays the new, higher
+        fee out of the same value.
+        """
+        return make_transaction(
+            inputs=original.inputs,
+            outputs=original.outputs,
+            vsize=vsize if vsize is not None else original.vsize,
+            fee=fee,
+            nonce=nonce + 1_000_000_007,
+        )

@@ -1,0 +1,136 @@
+"""Command-line interface: regenerate the paper's experiments.
+
+Usage::
+
+    repro-audit list
+    repro-audit run fig7 table2 --scale 0.1
+    repro-audit run all --scale 0.25 --out experiments.txt
+    repro-audit dataset C --scale 0.1 --out dataset_c.json.gz
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .analysis.base import DEFAULT_SCALE, DataContext
+from .analysis.experiments import ALL_RUNNERS, EXPERIMENTS, EXTENSIONS, run_experiments
+from .datasets.builder import build_dataset_a, build_dataset_b, build_dataset_c
+from .datasets.io import save_dataset
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-audit",
+        description=(
+            "Reproduce the tables and figures of 'Selfish & Opaque "
+            "Transaction Ordering in the Bitcoin Blockchain' (IMC 2021)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiment ids")
+
+    run_parser = sub.add_parser("run", help="run one or more experiments")
+    run_parser.add_argument(
+        "experiments",
+        nargs="+",
+        help="experiment ids, 'all' (paper artefacts) or "
+        "'everything' (artefacts + extensions/ablations)",
+    )
+    run_parser.add_argument(
+        "--scale",
+        type=float,
+        default=DEFAULT_SCALE,
+        help=f"simulation scale (default {DEFAULT_SCALE})",
+    )
+    run_parser.add_argument(
+        "--out", type=str, default=None, help="also write the report to a file"
+    )
+
+    dataset_parser = sub.add_parser(
+        "dataset", help="build a dataset analogue and save it to disk"
+    )
+    dataset_parser.add_argument("which", choices=["A", "B", "C"])
+    dataset_parser.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+    dataset_parser.add_argument("--out", type=str, required=True)
+    dataset_parser.add_argument(
+        "--csv",
+        type=str,
+        default=None,
+        help="also export flat CSV tables into this directory",
+    )
+    return parser
+
+
+def _run_command(args: argparse.Namespace) -> int:
+    ids = list(args.experiments)
+    if ids == ["all"]:
+        ids = list(EXPERIMENTS)
+    elif ids == ["everything"]:
+        ids = list(ALL_RUNNERS)
+    unknown = [eid for eid in ids if eid not in ALL_RUNNERS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"known: {', '.join(ALL_RUNNERS)}", file=sys.stderr)
+        return 2
+    ctx = DataContext(scale=args.scale)
+    results = run_experiments(ids, ctx)
+    report = "\n\n".join(result.report() for result in results)
+    print(report)
+    failed = [r for r in results if not r.all_passed]
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+        print(f"\nreport written to {args.out}")
+    if failed:
+        print(
+            f"\n{len(failed)} experiment(s) had failing shape checks: "
+            + ", ".join(r.experiment_id for r in failed),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _dataset_command(args: argparse.Namespace) -> int:
+    builders = {
+        "A": build_dataset_a,
+        "B": build_dataset_b,
+        "C": build_dataset_c,
+    }
+    dataset = builders[args.which](scale=args.scale)
+    path = save_dataset(dataset, args.out)
+    summary = dataset.summary()
+    print(f"dataset {args.which} written to {path}")
+    print(f"blocks={summary['blocks']} txs={summary['transactions_issued']}")
+    if args.csv:
+        from .datasets.export import export_csv
+
+        counts = export_csv(dataset, args.csv)
+        for name, count in counts.items():
+            print(f"  {args.csv}/{name}: {count} rows")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        for experiment_id in EXPERIMENTS:
+            print(experiment_id)
+        for experiment_id in EXTENSIONS:
+            print(f"{experiment_id}  (extension)")
+        return 0
+    if args.command == "run":
+        return _run_command(args)
+    if args.command == "dataset":
+        return _dataset_command(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

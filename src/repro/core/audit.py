@@ -1,0 +1,301 @@
+"""The Auditor: the paper's methodology as one high-level API.
+
+``Auditor`` wraps a :class:`~repro.datasets.dataset.Dataset` and exposes
+each analysis of §4 and §5 as a method.  Example::
+
+    auditor = Auditor(build_dataset_c(scale=0.2))
+    for row in auditor.self_interest_table(top_n=10):
+        print(row.target_pool, row.test.p_accelerate, row.sppe)
+
+Everything here is a thin join between the dataset's derived mappings
+and the pure analysis functions in the sibling modules, so each piece
+stays independently testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from ..datasets.dataset import Dataset
+from .acceleration import (
+    TABLE4_THRESHOLDS,
+    DetectionReport,
+    DetectorScore,
+    detection_sweep,
+    score_detector,
+)
+from .congestion import (
+    DelaySummary,
+    commit_delays_in_blocks,
+    delays_by_fee_band,
+    fee_rates_by_congestion,
+)
+from .norms import CpfpFilter
+from .ppe import BlockPpe, PpeSummary, SppeResult, chain_ppe, sppe, summarize_ppe
+from .stattests import PrioritizationTestResult, prioritization_test
+from .violations import (
+    SnapshotView,
+    ViolationStats,
+    analyze_snapshot,
+    build_snapshot_view,
+)
+
+
+@dataclass(frozen=True)
+class SelfInterestRow:
+    """One Table 2 row: a (transaction owner, tested miner) pair."""
+
+    owner_pool: str
+    target_pool: str
+    test: PrioritizationTestResult
+    sppe: float
+    tx_count: int
+
+
+@dataclass(frozen=True)
+class ScamRow:
+    """One Table 3 row."""
+
+    pool: str
+    test: PrioritizationTestResult
+    sppe: float
+
+
+class Auditor:
+    """Run the paper's audits against one dataset."""
+
+    def __init__(self, dataset: Dataset) -> None:
+        self.dataset = dataset
+
+    # ------------------------------------------------------------------
+    # §4.2.2 — in-block ordering
+    # ------------------------------------------------------------------
+    def ppe_distribution(
+        self, cpfp_filter: CpfpFilter = CpfpFilter.CHILDREN
+    ) -> list[BlockPpe]:
+        """Per-block PPE over the whole chain (Fig 7a input)."""
+        return chain_ppe(self.dataset.chain, cpfp_filter)
+
+    def ppe_summary(self) -> PpeSummary:
+        return summarize_ppe(self.ppe_distribution())
+
+    def ppe_by_pool(self, pools: Sequence[str]) -> dict[str, list[BlockPpe]]:
+        """PPE distributions for named pools (Fig 7b input)."""
+        return {
+            pool: chain_ppe(self.dataset.blocks_of(pool)) for pool in pools
+        }
+
+    # ------------------------------------------------------------------
+    # §4.2.1 — pairwise selection violations
+    # ------------------------------------------------------------------
+    def snapshot_views(
+        self,
+        count: int = 30,
+        rng: Optional[np.random.Generator] = None,
+        exclude_cpfp: bool = False,
+    ) -> list[SnapshotView]:
+        """Join ``count`` random snapshots with commit data (Fig 6 input)."""
+        rng = rng if rng is not None else np.random.default_rng(30)
+        snapshots = self.dataset.snapshots.sample(count, rng)
+        commit_heights = self.dataset.commit_heights()
+        cpfp = self.dataset.cpfp_txids() if exclude_cpfp else None
+        return [
+            build_snapshot_view(snapshot, commit_heights, cpfp)
+            for snapshot in snapshots
+        ]
+
+    def violation_stats(
+        self,
+        epsilon: float = 0.0,
+        count: int = 30,
+        exclude_cpfp: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ) -> list[ViolationStats]:
+        """Violation fractions per sampled snapshot at one ε."""
+        views = self.snapshot_views(count, rng=rng, exclude_cpfp=exclude_cpfp)
+        return [analyze_snapshot(view, epsilon) for view in views]
+
+    # ------------------------------------------------------------------
+    # §5.1/§5.2 — differential prioritization
+    # ------------------------------------------------------------------
+    def prioritization_test_for(
+        self, target_pool: str, txids: Iterable[str]
+    ) -> PrioritizationTestResult:
+        """Both directional binomial tests of ``target_pool`` on ``txids``."""
+        theta0 = self.dataset.hash_rate_of(target_pool)
+        miners = self.dataset.c_block_miners(txids)
+        return prioritization_test(target_pool, theta0, miners)
+
+    def sppe_for(
+        self, target_pool: str, txids: Iterable[str]
+    ) -> SppeResult:
+        """SPPE of ``txids`` inside blocks mined by ``target_pool``."""
+        return sppe(self.dataset.blocks_of(target_pool), txids)
+
+    def self_interest_table(
+        self,
+        owner_pools: Optional[Sequence[str]] = None,
+        target_pools: Optional[Sequence[str]] = None,
+        min_target_share: float = 0.035,
+        use_inferred: bool = True,
+    ) -> list[SelfInterestRow]:
+        """Reproduce Table 2: every (owner, target) pair's test + SPPE.
+
+        ``use_inferred`` selects between the auditor's wallet-based
+        inference of self-interest transactions (the paper's §5.2
+        method) and the simulator's ground-truth labels.
+        """
+        estimates = self.dataset.hash_rates()
+        if owner_pools is None:
+            owner_pools = [
+                est.pool for est in estimates if est.pool != "unknown"
+            ][:20]
+        if target_pools is None:
+            target_pools = [
+                est.pool
+                for est in estimates
+                if est.share >= min_target_share and est.pool != "unknown"
+            ]
+        rows: list[SelfInterestRow] = []
+        for owner in owner_pools:
+            txids = (
+                self.dataset.inferred_self_interest_txids(owner)
+                if use_inferred
+                else self.dataset.self_interest_txids(owner)
+            )
+            if not txids:
+                continue
+            for target in target_pools:
+                test = self.prioritization_test_for(target, txids)
+                if test.y == 0:
+                    continue
+                sppe_result = self.sppe_for(target, txids)
+                rows.append(
+                    SelfInterestRow(
+                        owner_pool=owner,
+                        target_pool=target,
+                        test=test,
+                        sppe=sppe_result.sppe,
+                        tx_count=len(txids),
+                    )
+                )
+        return rows
+
+    # ------------------------------------------------------------------
+    # §5.3 — scam payments
+    # ------------------------------------------------------------------
+    def scam_table(
+        self, target_pools: Optional[Sequence[str]] = None, min_share: float = 0.05
+    ) -> list[ScamRow]:
+        """Reproduce Table 3 over the dataset's scam transactions."""
+        scam_txids = self.dataset.scam_txids()
+        if target_pools is None:
+            target_pools = [
+                est.pool
+                for est in self.dataset.hash_rates()
+                if est.share >= min_share and est.pool != "unknown"
+            ]
+        rows = []
+        for pool in target_pools:
+            test = self.prioritization_test_for(pool, scam_txids)
+            sppe_result = self.sppe_for(pool, scam_txids)
+            rows.append(ScamRow(pool=pool, test=test, sppe=sppe_result.sppe))
+        return rows
+
+    # ------------------------------------------------------------------
+    # §5.4 — dark-fee acceleration
+    # ------------------------------------------------------------------
+    def dark_fee_sweep(
+        self,
+        pool: str,
+        service_name: str = "",
+        thresholds: Sequence[float] = TABLE4_THRESHOLDS,
+        rng: Optional[np.random.Generator] = None,
+    ) -> DetectionReport:
+        """Reproduce Table 4 for one pool.
+
+        The dataset's accelerated-transaction labels play the role of
+        the service's public checker.
+        """
+        accelerated = self.dataset.accelerated_txids(service_name)
+        return detection_sweep(
+            self.dataset.blocks_of(pool),
+            is_accelerated=lambda txid: txid in accelerated,
+            pool=pool,
+            thresholds=thresholds,
+            rng=rng if rng is not None else np.random.default_rng(4),
+        )
+
+    def dark_fee_scores(
+        self, pool: str, service_name: str = ""
+    ) -> list[DetectorScore]:
+        """Precision *and* recall against ground truth (extension)."""
+        accelerated = self.dataset.accelerated_txids(service_name)
+        return score_detector(self.dataset.blocks_of(pool), accelerated)
+
+    # ------------------------------------------------------------------
+    # §4.1 — congestion and delays
+    # ------------------------------------------------------------------
+    def commit_delays(
+        self, include_censored: bool = False
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(fee-rates, delays-in-blocks) for observed transactions.
+
+        With ``include_censored``, transactions the observer saw but
+        that never committed within the measurement window contribute a
+        right-censored delay (blocks remaining until the chain tip).
+        Committed-only delays suffer survivor bias: the most-delayed
+        low-fee transactions are exactly the ones still pending when
+        the window closes.
+        """
+        block_times = self.dataset.block_times()
+        tip = len(block_times)
+        arrivals: list[float] = []
+        heights: list[int] = []
+        rates: list[float] = []
+        for record in self.dataset.tx_records.values():
+            if not record.observed:
+                continue
+            if record.commit_height is not None:
+                arrivals.append(record.observer_arrival)
+                heights.append(record.commit_height)
+                rates.append(record.fee_rate)
+            elif include_censored:
+                arrivals.append(record.observer_arrival)
+                heights.append(tip - 1)
+                rates.append(record.fee_rate)
+        if not arrivals:
+            return np.empty(0), np.empty(0, dtype=np.int64)
+        delays = commit_delays_in_blocks(arrivals, heights, block_times)
+        return np.asarray(rates, dtype=float), delays
+
+    def delay_summary(self) -> DelaySummary:
+        """Headline commit-delay stats (Fig 4a text)."""
+        _, delays = self.commit_delays()
+        return DelaySummary.from_delays(delays)
+
+    def delay_by_fee_band(
+        self, include_censored: bool = False
+    ) -> dict[str, np.ndarray]:
+        """Delay distributions per fee band (Fig 5 / Fig 12)."""
+        rates, delays = self.commit_delays(include_censored=include_censored)
+        return delays_by_fee_band(rates, delays)
+
+    def fee_rates_by_congestion_level(self) -> dict[str, np.ndarray]:
+        """Fee-rates grouped by congestion at issuance (Fig 4c / Fig 11)."""
+        source = self.dataset.size_series or self.dataset.snapshots
+        records = [
+            r for r in self.dataset.tx_records.values() if r.observed
+        ]
+        arrivals = [r.observer_arrival for r in records]
+        rates = [r.fee_rate for r in records]
+        return fee_rates_by_congestion(arrivals, rates, source)
+
+    def congested_fraction(self) -> float:
+        """Share of snapshot ticks with a >1 MvB backlog (Fig 3b)."""
+        if self.dataset.size_series is not None:
+            return self.dataset.size_series.congested_fraction()
+        return self.dataset.snapshots.congested_fraction()

@@ -1,0 +1,206 @@
+"""Congestion, commit delays, and fee-rate behaviour (§4.1).
+
+These analyses join three measurement streams: per-transaction arrival
+times at the observer, the chain's block discovery times, and the
+observer's mempool-size snapshots.  From them we derive the paper's
+§4.1 quantities: commit delays in blocks (Fig 4a, Fig 5, Fig 12),
+fee-rate distributions (Fig 4b, Fig 10), and the fee-rate/congestion
+coupling (Fig 4c, Fig 11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..chain.constants import sat_per_vb_to_btc_per_kb
+from ..mempool.snapshots import CONGESTION_BINS, SnapshotStore
+
+#: Fee-rate band edges in sat/vB.  The paper's bands are <1e-4 BTC/KB
+#: ("low"), 1e-4..1e-3 ("high"), and >1e-3 ("exorbitant"); 1e-4 BTC/KB
+#: equals 10 sat/vB.
+FEE_BAND_EDGES = (10.0, 100.0)
+FEE_BAND_LABELS = ("low", "high", "exorbitant")
+
+
+def fee_band(fee_rate_sat_vb: float) -> str:
+    """Classify a fee-rate into the paper's three bands."""
+    if fee_rate_sat_vb < FEE_BAND_EDGES[0]:
+        return FEE_BAND_LABELS[0]
+    if fee_rate_sat_vb <= FEE_BAND_EDGES[1]:
+        return FEE_BAND_LABELS[1]
+    return FEE_BAND_LABELS[2]
+
+
+def commit_delays_in_blocks(
+    arrival_times: Sequence[float],
+    commit_heights: Sequence[int],
+    block_times: Sequence[float],
+) -> np.ndarray:
+    """Delay of each transaction, measured in blocks.
+
+    A transaction committed in the first block mined after it arrived
+    waited 1 block; waiting k blocks means k−1 blocks passed it over.
+    ``block_times[h]`` is the discovery time of height h.  Transactions
+    observed only after their commit block (propagation races) clamp
+    to 1.
+    """
+    arrivals = np.asarray(arrival_times, dtype=float)
+    heights = np.asarray(commit_heights, dtype=np.int64)
+    times = np.asarray(block_times, dtype=float)
+    if arrivals.shape != heights.shape:
+        raise ValueError("arrival_times and commit_heights must align")
+    # Height of the first block strictly after each arrival.
+    next_heights = np.searchsorted(times, arrivals, side="right")
+    delays = heights - next_heights + 1
+    return np.maximum(delays, 1)
+
+
+@dataclass(frozen=True)
+class DelaySummary:
+    """Headline delay statistics quoted in §4.1.1."""
+
+    tx_count: int
+    next_block_fraction: float
+    delayed_3plus_fraction: float
+    delayed_10plus_fraction: float
+    max_delay: int
+
+    @classmethod
+    def from_delays(cls, delays: np.ndarray) -> "DelaySummary":
+        if delays.size == 0:
+            return cls(0, float("nan"), float("nan"), float("nan"), 0)
+        return cls(
+            tx_count=int(delays.size),
+            next_block_fraction=float(np.mean(delays <= 1)),
+            delayed_3plus_fraction=float(np.mean(delays >= 3)),
+            delayed_10plus_fraction=float(np.mean(delays >= 10)),
+            max_delay=int(delays.max()),
+        )
+
+
+def delays_by_fee_band(
+    fee_rates: Sequence[float], delays: np.ndarray
+) -> dict[str, np.ndarray]:
+    """Split commit delays by fee-rate band (Fig 5 / Fig 12)."""
+    rates = np.asarray(fee_rates, dtype=float)
+    if rates.shape != delays.shape:
+        raise ValueError("fee_rates and delays must align")
+    grouped: dict[str, np.ndarray] = {}
+    for label in FEE_BAND_LABELS:
+        mask = np.fromiter(
+            (fee_band(rate) == label for rate in rates), dtype=bool, count=rates.size
+        )
+        grouped[label] = delays[mask]
+    return grouped
+
+
+def fee_rates_by_congestion(
+    arrival_times: Sequence[float],
+    fee_rates: Sequence[float],
+    snapshots: SnapshotStore,
+) -> dict[str, np.ndarray]:
+    """Group fee-rates by the congestion level at issuance (Fig 4c/11).
+
+    Each transaction is attributed to the congestion bin of the last
+    snapshot at or before its arrival; transactions preceding the first
+    snapshot are attributed to the first snapshot's bin.
+    """
+    arrivals = np.asarray(arrival_times, dtype=float)
+    rates = np.asarray(fee_rates, dtype=float)
+    if arrivals.shape != rates.shape:
+        raise ValueError("arrival_times and fee_rates must align")
+    times = np.asarray(snapshots.times, dtype=float)
+    if times.size == 0:
+        raise ValueError("snapshot store is empty")
+    sizes = np.asarray(snapshots.sizes(), dtype=np.int64)
+    indexes = np.clip(np.searchsorted(times, arrivals, side="right") - 1, 0, None)
+    mb = 1_000_000
+    edges = np.array([mb, 2 * mb, 4 * mb], dtype=np.int64)
+    bin_codes = np.searchsorted(edges, sizes[indexes], side="left")
+    grouped: dict[str, np.ndarray] = {}
+    for code, label in enumerate(CONGESTION_BINS):
+        grouped[label] = rates[bin_codes == code]
+    return grouped
+
+
+@dataclass(frozen=True)
+class FeeRateSummary:
+    """Distributional fee-rate facts quoted around Fig 4b."""
+
+    tx_count: int
+    below_minimum_fraction: float
+    mid_band_fraction: float
+    exorbitant_fraction: float
+    median_btc_per_kb: float
+
+    @classmethod
+    def from_rates(cls, rates_sat_vb: Sequence[float]) -> "FeeRateSummary":
+        rates = np.asarray(rates_sat_vb, dtype=float)
+        if rates.size == 0:
+            return cls(0, float("nan"), float("nan"), float("nan"), float("nan"))
+        return cls(
+            tx_count=int(rates.size),
+            below_minimum_fraction=float(np.mean(rates < 1.0)),
+            mid_band_fraction=float(
+                np.mean((rates >= FEE_BAND_EDGES[0]) & (rates <= FEE_BAND_EDGES[1]))
+            ),
+            exorbitant_fraction=float(np.mean(rates > FEE_BAND_EDGES[1])),
+            median_btc_per_kb=float(
+                sat_per_vb_to_btc_per_kb(float(np.median(rates)))
+            ),
+        )
+
+
+def stochastic_dominance_ok(
+    better: np.ndarray, worse: np.ndarray, quantiles: Optional[Sequence[float]] = None
+) -> bool:
+    """Check first-order dominance: ``better`` ≤ ``worse`` at each quantile.
+
+    Used by tests/benchmarks to assert the paper's qualitative claims
+    ("fee-rates are strictly higher at higher congestion"; "higher fees
+    ⇒ lower delays") without pinning fragile absolute numbers.
+    """
+    if better.size == 0 or worse.size == 0:
+        return False
+    probes = quantiles if quantiles is not None else (0.25, 0.5, 0.75)
+    better_q = np.quantile(better, probes)
+    worse_q = np.quantile(worse, probes)
+    return bool(np.all(better_q <= worse_q))
+
+
+def mempool_size_series(snapshots: SnapshotStore) -> tuple[np.ndarray, np.ndarray]:
+    """(times, pending vsize) arrays — Fig 3c / Fig 9 series."""
+    return (
+        np.asarray(snapshots.times, dtype=float),
+        np.asarray(snapshots.sizes(), dtype=np.int64),
+    )
+
+
+def congested_fraction_by(
+    snapshots: SnapshotStore, threshold_vsize: int = 1_000_000
+) -> float:
+    """Fraction of snapshots with pending vsize above ``threshold_vsize``."""
+    sizes = np.asarray(snapshots.sizes(), dtype=np.int64)
+    if sizes.size == 0:
+        return 0.0
+    return float(np.mean(sizes > threshold_vsize))
+
+
+def dataset_fee_rates_by_pool(
+    commit_pool: Mapping[str, str], fee_rates: Mapping[str, float]
+) -> dict[str, np.ndarray]:
+    """Fee-rates of committed transactions grouped by committing pool.
+
+    Powers Fig 10 (per-MPO fee-rate distributions, which the paper shows
+    are near-identical across pools).
+    """
+    grouped: dict[str, list[float]] = {}
+    for txid, pool in commit_pool.items():
+        rate = fee_rates.get(txid)
+        if rate is None:
+            continue
+        grouped.setdefault(pool, []).append(rate)
+    return {pool: np.asarray(values, dtype=float) for pool, values in grouped.items()}

@@ -1,0 +1,120 @@
+"""Norm-assuming fee estimation — what wallet software does.
+
+Bitcoin Core and most wallets suggest fees from the fee-rate
+distribution of recently committed transactions, **assuming miners
+follow the fee-rate norm** (§4.1, footnote on Coinbase).  This module
+implements that estimator so experiments can quantify how dark-fee and
+self-interest deviations mislead it: an accelerated transaction's tiny
+public fee drags the observed distribution down, while the true price
+of priority is hidden.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..chain.block import Block
+
+
+@dataclass(frozen=True)
+class FeeEstimate:
+    """A suggested fee-rate for a confirmation target."""
+
+    target_blocks: int
+    fee_rate_sat_vb: float
+    based_on_blocks: int
+    based_on_txs: int
+
+
+class NormBasedFeeEstimator:
+    """Suggest fee-rates from recent blocks' committed fee-rates.
+
+    The heuristic mirrors deployed estimators: to confirm within ``k``
+    blocks, offer around the fee-rate that beat all but the cheapest
+    tail of transactions in the last ``window`` blocks — specifically
+    the q-th percentile with q shrinking as urgency rises.
+    """
+
+    #: Percentile targeted per confirmation horizon: next block demands
+    #: beating most of the recent market; 10+ blocks can undercut it.
+    TARGET_PERCENTILES = {1: 75.0, 3: 50.0, 6: 35.0, 10: 20.0}
+
+    def __init__(self, window: int = 24) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = window
+
+    def estimate(
+        self, recent_blocks: Sequence[Block], target_blocks: int = 1
+    ) -> FeeEstimate:
+        """Suggest a fee-rate to confirm within ``target_blocks``."""
+        if target_blocks < 1:
+            raise ValueError("target_blocks must be >= 1")
+        blocks = list(recent_blocks)[-self.window :]
+        rates = [tx.fee_rate for block in blocks for tx in block.transactions]
+        if not rates:
+            return FeeEstimate(
+                target_blocks=target_blocks,
+                fee_rate_sat_vb=1.0,
+                based_on_blocks=len(blocks),
+                based_on_txs=0,
+            )
+        percentile = self._percentile_for(target_blocks)
+        suggested = float(np.percentile(np.asarray(rates, dtype=float), percentile))
+        return FeeEstimate(
+            target_blocks=target_blocks,
+            fee_rate_sat_vb=max(suggested, 1.0),
+            based_on_blocks=len(blocks),
+            based_on_txs=len(rates),
+        )
+
+    def _percentile_for(self, target_blocks: int) -> float:
+        thresholds = sorted(self.TARGET_PERCENTILES)
+        chosen = self.TARGET_PERCENTILES[thresholds[-1]]
+        for horizon in thresholds:
+            if target_blocks <= horizon:
+                chosen = self.TARGET_PERCENTILES[horizon]
+                break
+        return chosen
+
+
+def estimator_bias_from_dark_fees(
+    blocks: Iterable[Block],
+    accelerated_txids: frozenset[str],
+    target_blocks: int = 1,
+    window: int = 24,
+) -> tuple[FeeEstimate, FeeEstimate]:
+    """Fee estimates with and without dark-fee pollution.
+
+    Returns (naive, corrected): the naive estimate consumes all
+    committed transactions as a wallet would; the corrected one drops
+    transactions known to have paid off-chain.  The gap quantifies the
+    §6 concern that opaque fees break fee estimation.
+    """
+    blocks = list(blocks)
+    estimator = NormBasedFeeEstimator(window=window)
+    naive = estimator.estimate(blocks, target_blocks)
+
+    cleaned_rates = [
+        tx.fee_rate
+        for block in blocks[-window:]
+        for tx in block.transactions
+        if tx.txid not in accelerated_txids
+    ]
+    if cleaned_rates:
+        percentile = estimator._percentile_for(target_blocks)
+        corrected_rate = float(
+            np.percentile(np.asarray(cleaned_rates, dtype=float), percentile)
+        )
+    else:
+        corrected_rate = naive.fee_rate_sat_vb
+    corrected = FeeEstimate(
+        target_blocks=target_blocks,
+        fee_rate_sat_vb=max(corrected_rate, 1.0),
+        based_on_blocks=min(window, len(blocks)),
+        based_on_txs=len(cleaned_rates),
+    )
+    return naive, corrected

@@ -1,0 +1,282 @@
+"""Chain-neutrality metrics and third-party norm verification (§6.1).
+
+Two of the paper's closing questions get working answers here:
+
+* *"What are the desired prioritization norms?"* —
+  :func:`evaluate_norm` plays a candidate ordering policy over a
+  recorded workload and measures what users and miners each get out of
+  it: delay quantiles per fee band, a starvation measure, delay
+  inequality (Gini), and miner revenue relative to the fee-rate
+  optimum.
+
+* *"How can a third-party observer verify that a miner adheres to a
+  declared norm?"* — :class:`NormVerifier` replays a miner's blocks
+  against the declared policy applied to a reconstructed pending set
+  and scores the agreement, a practical instance of the statistical
+  verification the paper calls for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..chain.block import Block
+from ..chain.constants import MAX_BLOCK_VSIZE
+from ..mempool.mempool import MempoolEntry
+from .congestion import FEE_BAND_LABELS, fee_band
+
+
+def gini_coefficient(values: Sequence[float]) -> float:
+    """Gini inequality index of a non-negative sample (0 = equal)."""
+    array = np.sort(np.asarray(values, dtype=float))
+    if array.size == 0:
+        return float("nan")
+    if np.any(array < 0):
+        raise ValueError("gini requires non-negative values")
+    total = array.sum()
+    if total == 0:
+        return 0.0
+    ranks = np.arange(1, array.size + 1)
+    return float((2.0 * (ranks * array).sum()) / (array.size * total) - (array.size + 1) / array.size)
+
+
+@dataclass(frozen=True)
+class NormEvaluation:
+    """What one candidate norm delivers, measured over a replay."""
+
+    norm: str
+    blocks: int
+    committed: int
+    pending_at_end: int
+    mean_delay: float
+    p99_delay: float
+    max_delay: int
+    starved_fraction: float
+    delay_gini: float
+    delay_by_band: dict[str, float]
+    revenue: int
+    revenue_vs_feerate_optimum: float
+
+
+class NormReplayer:
+    """Replay a recorded arrival stream under a candidate ordering norm.
+
+    The replay holds mining times fixed (same block schedule) and swaps
+    only the ordering policy, so differences in outcomes are caused by
+    the norm alone.
+    """
+
+    def __init__(
+        self,
+        arrivals: Sequence[tuple[float, "object"]],
+        block_times: Sequence[float],
+        max_block_vsize: int = MAX_BLOCK_VSIZE,
+        coinbase_vsize: int = 200,
+    ) -> None:
+        self._arrivals = sorted(arrivals, key=lambda pair: pair[0])
+        self._block_times = list(block_times)
+        self._max_vsize = max_block_vsize
+        self._coinbase_vsize = coinbase_vsize
+
+    def replay(self, policy, starvation_blocks: int = 50) -> dict:
+        """Run the policy over the stream; return raw outcome data."""
+        pending: dict[str, MempoolEntry] = {}
+        commit_delay: dict[str, int] = {}
+        commit_band: dict[str, str] = {}
+        arrival_height: dict[str, int] = {}
+        revenue = 0
+        index = 0
+        for height, block_time in enumerate(self._block_times):
+            while index < len(self._arrivals) and self._arrivals[index][0] <= block_time:
+                time, tx = self._arrivals[index]
+                pending[tx.txid] = MempoolEntry(tx=tx, arrival_time=time)
+                arrival_height[tx.txid] = height
+                index += 1
+            template = policy.build(
+                list(pending.values()),
+                max_vsize=self._max_vsize,
+                reserved_vsize=self._coinbase_vsize,
+            )
+            revenue += template.total_fee
+            for tx in template.transactions:
+                commit_delay[tx.txid] = height - arrival_height[tx.txid] + 1
+                commit_band[tx.txid] = fee_band(tx.fee_rate)
+                del pending[tx.txid]
+        starved = sum(
+            1
+            for txid, entry in pending.items()
+            if len(self._block_times) - arrival_height[txid] >= starvation_blocks
+        )
+        return {
+            "delays": commit_delay,
+            "bands": commit_band,
+            "pending": pending,
+            "starved": starved,
+            "revenue": revenue,
+        }
+
+
+def evaluate_norm(
+    name: str,
+    policy,
+    replayer: NormReplayer,
+    feerate_revenue: Optional[int] = None,
+    starvation_blocks: int = 50,
+) -> NormEvaluation:
+    """Measure a candidate norm's user- and miner-facing outcomes."""
+    outcome = replayer.replay(policy, starvation_blocks=starvation_blocks)
+    delays = np.asarray(list(outcome["delays"].values()), dtype=float)
+    bands = outcome["bands"]
+    by_band: dict[str, float] = {}
+    for label in FEE_BAND_LABELS:
+        band_delays = [
+            outcome["delays"][txid] for txid, b in bands.items() if b == label
+        ]
+        by_band[label] = float(np.median(band_delays)) if band_delays else float("nan")
+    total_seen = len(outcome["delays"]) + len(outcome["pending"])
+    starved_fraction = outcome["starved"] / total_seen if total_seen else 0.0
+    return NormEvaluation(
+        norm=name,
+        blocks=len(replayer._block_times),
+        committed=len(outcome["delays"]),
+        pending_at_end=len(outcome["pending"]),
+        mean_delay=float(delays.mean()) if delays.size else float("nan"),
+        p99_delay=float(np.percentile(delays, 99)) if delays.size else float("nan"),
+        max_delay=int(delays.max()) if delays.size else 0,
+        starved_fraction=starved_fraction,
+        delay_gini=gini_coefficient(delays) if delays.size else float("nan"),
+        delay_by_band=by_band,
+        revenue=outcome["revenue"],
+        revenue_vs_feerate_optimum=(
+            outcome["revenue"] / feerate_revenue if feerate_revenue else float("nan")
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Third-party norm verification
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class VerificationResult:
+    """How well a miner's observed blocks match a declared norm."""
+
+    pool: str
+    norm: str
+    blocks_checked: int
+    #: Mean Jaccard similarity between observed and recomputed block
+    #: contents (selection agreement).
+    selection_agreement: float
+    #: Mean normalised Kendall-tau-style agreement of the common
+    #: transactions' relative order (1 = identical order).
+    ordering_agreement: float
+
+    def conforms(self, threshold: float = 0.8) -> bool:
+        """Verdict at a chosen agreement threshold."""
+        return (
+            self.selection_agreement >= threshold
+            and self.ordering_agreement >= threshold
+        )
+
+
+def _order_agreement(observed: Sequence[str], recomputed: Sequence[str]) -> float:
+    """1 − normalised inversion count between two orderings."""
+    common = [txid for txid in observed if txid in set(recomputed)]
+    if len(common) < 2:
+        return 1.0
+    position = {txid: i for i, txid in enumerate(recomputed)}
+    ranks = [position[txid] for txid in common]
+    inversions = sum(
+        1
+        for i in range(len(ranks))
+        for j in range(i + 1, len(ranks))
+        if ranks[i] > ranks[j]
+    )
+    max_inversions = len(ranks) * (len(ranks) - 1) // 2
+    return 1.0 - inversions / max_inversions
+
+
+class NormVerifier:
+    """Replay a miner's blocks against a declared ordering norm.
+
+    For each audited block, the verifier reconstructs the pending set
+    the miner plausibly saw (every transaction committed in this block
+    or later that had already been broadcast), applies the declared
+    policy, and compares the result with what the miner actually
+    committed.  Observers cannot know the miner's exact mempool, so the
+    scores are fuzzy by construction — which is precisely why they are
+    *agreement* scores rather than binary verdicts.
+    """
+
+    def __init__(
+        self,
+        broadcast_times: Mapping[str, float],
+        max_block_vsize: int = MAX_BLOCK_VSIZE,
+    ) -> None:
+        self._broadcast = dict(broadcast_times)
+        self._max_vsize = max_block_vsize
+
+    def verify(
+        self,
+        pool: str,
+        norm_name: str,
+        policy,
+        blocks: Sequence[Block],
+        future_blocks: Sequence[Block],
+        sample: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> VerificationResult:
+        """Score ``pool``'s blocks against ``policy``.
+
+        ``future_blocks`` supplies the transactions still pending at
+        each audited block (those committed later); ``sample`` limits
+        how many blocks are replayed.
+        """
+        audited = list(blocks)
+        if sample is not None and len(audited) > sample:
+            rng = rng if rng is not None else np.random.default_rng(61)
+            picks = rng.choice(len(audited), size=sample, replace=False)
+            audited = [audited[int(i)] for i in sorted(picks)]
+
+        later_pool: list[tuple[float, Block]] = [
+            (b.timestamp, b) for b in future_blocks
+        ]
+        selection_scores = []
+        ordering_scores = []
+        for block in audited:
+            pending = []
+            for tx in block.transactions:
+                arrival = self._broadcast.get(tx.txid, block.timestamp)
+                pending.append(MempoolEntry(tx=tx, arrival_time=arrival))
+            # Add transactions committed in later blocks but already
+            # broadcast — the contention the miner chose against.
+            for timestamp, later in later_pool:
+                if timestamp <= block.timestamp:
+                    continue
+                for tx in later.transactions:
+                    arrival = self._broadcast.get(tx.txid)
+                    if arrival is not None and arrival <= block.timestamp:
+                        pending.append(MempoolEntry(tx=tx, arrival_time=arrival))
+            template = policy.build(
+                pending, max_vsize=self._max_vsize, reserved_vsize=200
+            )
+            recomputed = template.txids()
+            observed = [tx.txid for tx in block.transactions]
+            union = set(observed) | set(recomputed)
+            if union:
+                jaccard = len(set(observed) & set(recomputed)) / len(union)
+                selection_scores.append(jaccard)
+            ordering_scores.append(_order_agreement(observed, recomputed))
+        return VerificationResult(
+            pool=pool,
+            norm=norm_name,
+            blocks_checked=len(audited),
+            selection_agreement=(
+                float(np.mean(selection_scores)) if selection_scores else float("nan")
+            ),
+            ordering_agreement=(
+                float(np.mean(ordering_scores)) if ordering_scores else float("nan")
+            ),
+        )

@@ -1,0 +1,153 @@
+"""Position prediction error (PPE) and its signed variant (SPPE).
+
+PPE(B) — §4.2.2 — quantifies how far a block's observed ordering strays
+from the fee-rate norm: the mean absolute difference between predicted
+and observed percentile positions over the block's non-CPFP
+transactions.  A block ordered exactly by fee-rate scores 0.
+
+SPPE — §5.1.1 — keeps the sign: for a *chosen set* of transactions
+committed by a miner, the mean of (predicted − observed) percentile
+positions.  Large positive SPPE means the miner systematically lifted
+those transactions toward the top of its blocks; large negative SPPE
+means it buried them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from ..chain.block import Block
+from .norms import CpfpFilter, PositionPrediction, predict_block_positions
+
+
+@dataclass(frozen=True)
+class BlockPpe:
+    """PPE of one block plus the context Fig 7 aggregates."""
+
+    height: int
+    block_hash: str
+    tx_count: int
+    ppe: float
+
+
+def block_ppe(
+    block: Block, cpfp_filter: CpfpFilter = CpfpFilter.CHILDREN
+) -> Optional[BlockPpe]:
+    """PPE of ``block``, or None when no transaction survives filtering.
+
+    The paper computes Fig 7 over the 99.55% of blocks with at least one
+    non-CPFP transaction; returning None lets callers apply the same
+    exclusion explicitly.
+    """
+    predictions = predict_block_positions(block, cpfp_filter)
+    if not predictions:
+        return None
+    errors = [prediction.error for prediction in predictions]
+    return BlockPpe(
+        height=block.height,
+        block_hash=block.block_hash,
+        tx_count=len(predictions),
+        ppe=float(np.mean(errors)),
+    )
+
+
+def chain_ppe(
+    blocks: Iterable[Block], cpfp_filter: CpfpFilter = CpfpFilter.CHILDREN
+) -> list[BlockPpe]:
+    """PPE for every block that has at least one non-CPFP transaction."""
+    results = []
+    for block in blocks:
+        result = block_ppe(block, cpfp_filter)
+        if result is not None:
+            results.append(result)
+    return results
+
+
+@dataclass(frozen=True)
+class PpeSummary:
+    """Distributional summary of PPE over a set of blocks (Fig 7a text)."""
+
+    block_count: int
+    mean: float
+    std: float
+    median: float
+    percentile_80: float
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "PpeSummary":
+        if not len(values):
+            return cls(0, float("nan"), float("nan"), float("nan"), float("nan"))
+        array = np.asarray(values, dtype=float)
+        return cls(
+            block_count=int(array.size),
+            mean=float(array.mean()),
+            std=float(array.std(ddof=0)),
+            median=float(np.median(array)),
+            percentile_80=float(np.percentile(array, 80)),
+        )
+
+
+def summarize_ppe(results: Sequence[BlockPpe]) -> PpeSummary:
+    """Aggregate per-block PPE values into the Fig 7 headline numbers."""
+    return PpeSummary.from_values([result.ppe for result in results])
+
+
+@dataclass(frozen=True)
+class SppeResult:
+    """SPPE of a transaction set within one miner's blocks."""
+
+    tx_count: int
+    sppe: float
+    per_tx: tuple[PositionPrediction, ...]
+
+    @property
+    def accelerated_fraction(self) -> float:
+        """Share of the set observed above its predicted position."""
+        if not self.per_tx:
+            return 0.0
+        lifted = sum(1 for p in self.per_tx if p.signed_error > 0)
+        return lifted / len(self.per_tx)
+
+
+def sppe(
+    blocks: Iterable[Block],
+    txids: Iterable[str],
+    cpfp_filter: CpfpFilter = CpfpFilter.CHILDREN,
+) -> SppeResult:
+    """SPPE of ``txids`` over the blocks that committed them.
+
+    Only blocks containing at least one target transaction are scanned;
+    targets that were filtered out as CPFP children contribute nothing
+    (their position is legitimately off-norm).
+    """
+    target = set(txids)
+    matched: list[PositionPrediction] = []
+    for block in blocks:
+        block_txids = {tx.txid for tx in block.transactions}
+        if not (target & block_txids):
+            continue
+        for prediction in predict_block_positions(block, cpfp_filter):
+            if prediction.txid in target:
+                matched.append(prediction)
+    if not matched:
+        return SppeResult(tx_count=0, sppe=float("nan"), per_tx=())
+    mean_signed = float(np.mean([p.signed_error for p in matched]))
+    return SppeResult(tx_count=len(matched), sppe=mean_signed, per_tx=tuple(matched))
+
+
+def per_transaction_sppe(
+    blocks: Iterable[Block], cpfp_filter: CpfpFilter = CpfpFilter.CHILDREN
+) -> dict[str, float]:
+    """Signed prediction error of every committed transaction.
+
+    This per-transaction view powers the dark-fee detector (§5.4.2):
+    Table 4 thresholds on exactly this quantity.
+    """
+    errors: dict[str, float] = {}
+    for block in blocks:
+        for prediction in predict_block_positions(block, cpfp_filter):
+            errors[prediction.txid] = prediction.signed_error
+    return errors

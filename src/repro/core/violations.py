@@ -1,0 +1,194 @@
+"""Pairwise selection-norm violation detection (§4.2.1).
+
+The test scans a mempool snapshot for ordered transaction pairs (i, j)
+where i arrived earlier AND offers a strictly higher fee-rate, yet was
+committed in a *later* block.  Any such pair contradicts a pure
+fee-rate selection norm.
+
+Two refinements from the paper are supported:
+
+* an ε slack on arrival times (``t_i + ε < t_j``) to discount pairs the
+  observer may simply have received in a different order than miners;
+* exclusion of CPFP-dependent transactions, whose out-of-order commits
+  are legitimate.
+
+The pair count is a three-way dominance count; we evaluate it with a
+row-blocked numpy sweep, which keeps memory linear while vectorising
+the inner comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..mempool.snapshots import MempoolSnapshot
+
+#: The two ε values the paper uses when tightening the test.
+EPSILON_10_SECONDS = 10.0
+EPSILON_10_MINUTES = 600.0
+
+
+@dataclass(frozen=True)
+class ViolationStats:
+    """Outcome of the pairwise test on one snapshot."""
+
+    snapshot_time: float
+    tx_count: int
+    total_pairs: int
+    eligible_pairs: int
+    violating_pairs: int
+    epsilon: float
+
+    @property
+    def violating_fraction(self) -> float:
+        """Violating pairs over all pairs — the Fig 6 y-quantity."""
+        if self.total_pairs == 0:
+            return 0.0
+        return self.violating_pairs / self.total_pairs
+
+    @property
+    def violating_fraction_of_eligible(self) -> float:
+        """Violating pairs over (earlier, higher-fee-rate) pairs only."""
+        if self.eligible_pairs == 0:
+            return 0.0
+        return self.violating_pairs / self.eligible_pairs
+
+
+def count_violations(
+    arrival_times: Sequence[float],
+    fee_rates: Sequence[float],
+    commit_heights: Sequence[int],
+    epsilon: float = 0.0,
+    block_size: int = 512,
+) -> tuple[int, int]:
+    """Count (eligible, violating) pairs among parallel arrays.
+
+    Eligible: ``t_i + ε < t_j`` and ``f_i > f_j`` (transaction i should
+    win).  Violating: additionally ``b_i > b_j`` (it lost).  Uncommitted
+    transactions must be filtered out by the caller.
+    """
+    times = np.asarray(arrival_times, dtype=float)
+    rates = np.asarray(fee_rates, dtype=float)
+    heights = np.asarray(commit_heights, dtype=np.int64)
+    count = times.size
+    if not (rates.size == count and heights.size == count):
+        raise ValueError("input arrays must have equal length")
+    eligible = 0
+    violating = 0
+    for start in range(0, count, block_size):
+        stop = min(start + block_size, count)
+        t_i = times[start:stop, None]
+        f_i = rates[start:stop, None]
+        b_i = heights[start:stop, None]
+        earlier = t_i + epsilon < times[None, :]
+        richer = f_i > rates[None, :]
+        eligible_mask = earlier & richer
+        eligible += int(eligible_mask.sum())
+        violating += int((eligible_mask & (b_i > heights[None, :])).sum())
+    return eligible, violating
+
+
+@dataclass(frozen=True)
+class SnapshotView:
+    """A snapshot joined with commit information, ready for the test."""
+
+    time: float
+    txids: tuple[str, ...]
+    arrival_times: np.ndarray
+    fee_rates: np.ndarray
+    commit_heights: np.ndarray
+
+    @property
+    def tx_count(self) -> int:
+        return len(self.txids)
+
+
+def build_snapshot_view(
+    snapshot: MempoolSnapshot,
+    commit_heights: Mapping[str, int],
+    cpfp_txids: Optional[frozenset[str]] = None,
+) -> SnapshotView:
+    """Join a snapshot with the chain's commit heights.
+
+    Transactions never committed are dropped (the test is defined over
+    committed transactions); ``cpfp_txids`` additionally removes CPFP
+    transactions for the Fig 6b variant.
+    """
+    txids: list[str] = []
+    times: list[float] = []
+    rates: list[float] = []
+    heights: list[int] = []
+    for tx in snapshot.txs:
+        height = commit_heights.get(tx.txid)
+        if height is None:
+            continue
+        if cpfp_txids is not None and tx.txid in cpfp_txids:
+            continue
+        txids.append(tx.txid)
+        times.append(tx.arrival_time)
+        rates.append(tx.fee_rate)
+        heights.append(height)
+    return SnapshotView(
+        time=snapshot.time,
+        txids=tuple(txids),
+        arrival_times=np.asarray(times, dtype=float),
+        fee_rates=np.asarray(rates, dtype=float),
+        commit_heights=np.asarray(heights, dtype=np.int64),
+    )
+
+
+def analyze_snapshot(view: SnapshotView, epsilon: float = 0.0) -> ViolationStats:
+    """Run the pairwise violation test on one joined snapshot."""
+    count = view.tx_count
+    total_pairs = count * (count - 1) // 2
+    eligible, violating = count_violations(
+        view.arrival_times, view.fee_rates, view.commit_heights, epsilon=epsilon
+    )
+    return ViolationStats(
+        snapshot_time=view.time,
+        tx_count=count,
+        total_pairs=total_pairs,
+        eligible_pairs=eligible,
+        violating_pairs=violating,
+        epsilon=epsilon,
+    )
+
+
+def analyze_snapshots(
+    views: Iterable[SnapshotView], epsilons: Sequence[float] = (0.0,)
+) -> dict[float, list[ViolationStats]]:
+    """Run the test across snapshots for each ε (Fig 6 series)."""
+    views = list(views)
+    return {
+        epsilon: [analyze_snapshot(view, epsilon) for view in views]
+        for epsilon in epsilons
+    }
+
+
+def enumerate_violating_pairs(
+    view: SnapshotView, epsilon: float = 0.0, limit: Optional[int] = None
+) -> list[tuple[str, str]]:
+    """Materialise violating (earlier-richer-later, later-poorer-earlier) pairs.
+
+    Useful for drilling into *which* transactions jumped the queue; the
+    aggregate analyses never need the explicit list, so this is O(n²)
+    by design and accepts a ``limit``.
+    """
+    pairs: list[tuple[str, str]] = []
+    times = view.arrival_times
+    rates = view.fee_rates
+    heights = view.commit_heights
+    for i in range(view.tx_count):
+        mask = (
+            (times[i] + epsilon < times)
+            & (rates[i] > rates)
+            & (heights[i] > heights)
+        )
+        for j in np.nonzero(mask)[0]:
+            pairs.append((view.txids[i], view.txids[int(j)]))
+            if limit is not None and len(pairs) >= limit:
+                return pairs
+    return pairs

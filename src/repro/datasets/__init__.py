@@ -1,0 +1,59 @@
+"""Curated datasets: records, containers, builders, persistence."""
+
+from .builder import (
+    build_dataset,
+    build_dataset_a,
+    build_dataset_b,
+    build_dataset_c,
+    clear_memory_cache,
+)
+from .dataset import Dataset
+from .export import export_csv
+from .io import (
+    dataset_from_dict,
+    dataset_path,
+    dataset_to_dict,
+    load_dataset,
+    load_if_exists,
+    save_dataset,
+)
+from .records import (
+    LABEL_ACCELERATED,
+    LABEL_LOW_FEE,
+    LABEL_RBF_BUMP,
+    LABEL_RBF_ORIGINAL,
+    LABEL_SCAM,
+    LABEL_SELF_INTEREST,
+    LABEL_ZERO_FEE,
+    BlockRecord,
+    TxRecord,
+    label_value,
+    make_label,
+)
+
+__all__ = [
+    "build_dataset",
+    "build_dataset_a",
+    "build_dataset_b",
+    "build_dataset_c",
+    "clear_memory_cache",
+    "Dataset",
+    "export_csv",
+    "dataset_from_dict",
+    "dataset_path",
+    "dataset_to_dict",
+    "load_dataset",
+    "load_if_exists",
+    "save_dataset",
+    "LABEL_ACCELERATED",
+    "LABEL_LOW_FEE",
+    "LABEL_RBF_BUMP",
+    "LABEL_RBF_ORIGINAL",
+    "LABEL_SCAM",
+    "LABEL_SELF_INTEREST",
+    "LABEL_ZERO_FEE",
+    "BlockRecord",
+    "TxRecord",
+    "label_value",
+    "make_label",
+]

@@ -1,0 +1,158 @@
+"""CSV export: flat files in the spirit of the paper's data release.
+
+The authors published their curated measurements as flat tables; this
+module renders a :class:`~repro.datasets.dataset.Dataset` the same way:
+
+* ``transactions.csv`` — one row per recorded transaction (arrivals,
+  fees, commit location, labels),
+* ``blocks.csv`` — one row per block (pool, sizes, fees),
+* ``snapshot_sizes.csv`` — the mempool size series,
+* ``pools.csv`` — per-pool hash-rate estimates and wallet counts.
+
+Everything is plain ``csv`` from the standard library so the files load
+anywhere (pandas, R, spreadsheets) without this package installed.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Union
+
+from .dataset import Dataset
+
+TRANSACTIONS_FILE = "transactions.csv"
+BLOCKS_FILE = "blocks.csv"
+SNAPSHOT_SIZES_FILE = "snapshot_sizes.csv"
+POOLS_FILE = "pools.csv"
+
+
+def export_transactions(dataset: Dataset, path: Path) -> int:
+    """Write the per-transaction table; returns the row count."""
+    fields = [
+        "txid",
+        "broadcast_time",
+        "observer_arrival",
+        "fee_sat",
+        "vsize",
+        "fee_rate_sat_vb",
+        "commit_height",
+        "commit_position",
+        "labels",
+    ]
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(fields)
+        count = 0
+        for record in dataset.tx_records.values():
+            writer.writerow(
+                [
+                    record.txid,
+                    f"{record.broadcast_time:.3f}",
+                    (
+                        f"{record.observer_arrival:.3f}"
+                        if record.observer_arrival is not None
+                        else ""
+                    ),
+                    record.fee,
+                    record.vsize,
+                    f"{record.fee_rate:.6f}",
+                    record.commit_height if record.commit_height is not None else "",
+                    (
+                        record.commit_position
+                        if record.commit_position is not None
+                        else ""
+                    ),
+                    ";".join(sorted(record.labels)),
+                ]
+            )
+            count += 1
+    return count
+
+
+def export_blocks(dataset: Dataset, path: Path) -> int:
+    """Write the per-block table; returns the row count."""
+    fields = [
+        "height",
+        "block_hash",
+        "timestamp",
+        "pool",
+        "tx_count",
+        "vsize",
+        "total_fees_sat",
+        "subsidy_sat",
+        "fee_share_of_revenue",
+    ]
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(fields)
+        count = 0
+        for record in dataset.block_records():
+            writer.writerow(
+                [
+                    record.height,
+                    record.block_hash,
+                    f"{record.timestamp:.3f}",
+                    record.pool,
+                    record.tx_count,
+                    record.vsize,
+                    record.total_fees,
+                    record.subsidy,
+                    f"{record.fee_share_of_revenue:.6f}",
+                ]
+            )
+            count += 1
+    return count
+
+
+def export_snapshot_sizes(dataset: Dataset, path: Path) -> int:
+    """Write the mempool size series; returns the row count."""
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["time", "pending_vsize", "pending_tx_count"])
+        if dataset.size_series is None:
+            times = dataset.snapshots.times
+            sizes = dataset.snapshots.sizes()
+            counts = [s.tx_count for s in dataset.snapshots]
+        else:
+            times = dataset.size_series.times
+            sizes = dataset.size_series.sizes()
+            counts = dataset.size_series.tx_counts() or [""] * len(times)
+        for time, size, count in zip(times, sizes, counts):
+            writer.writerow([f"{time:.3f}", size, count])
+        return len(times)
+
+
+def export_pools(dataset: Dataset, path: Path) -> int:
+    """Write the per-pool table; returns the row count."""
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["pool", "blocks", "hash_share", "reward_wallets"])
+        estimates = dataset.hash_rates()
+        for estimate in estimates:
+            wallets = dataset.pool_wallets.get(estimate.pool, frozenset())
+            writer.writerow(
+                [
+                    estimate.pool,
+                    estimate.blocks,
+                    f"{estimate.share:.6f}",
+                    len(wallets),
+                ]
+            )
+        return len(estimates)
+
+
+def export_csv(dataset: Dataset, directory: Union[str, Path]) -> dict[str, int]:
+    """Export all four tables into ``directory``; returns row counts."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    return {
+        TRANSACTIONS_FILE: export_transactions(
+            dataset, directory / TRANSACTIONS_FILE
+        ),
+        BLOCKS_FILE: export_blocks(dataset, directory / BLOCKS_FILE),
+        SNAPSHOT_SIZES_FILE: export_snapshot_sizes(
+            dataset, directory / SNAPSHOT_SIZES_FILE
+        ),
+        POOLS_FILE: export_pools(dataset, directory / POOLS_FILE),
+    }

@@ -1,0 +1,226 @@
+"""Dataset persistence: gzip-JSON round-trips.
+
+The paper released its curated datasets; we mirror that by making every
+:class:`~repro.datasets.dataset.Dataset` serialisable.  The format is
+a single gzip-compressed JSON document with compact per-transaction
+tuples.  Round-tripping re-derives transaction and block hashes from
+content, so a load verifies integrity for free: a corrupted file simply
+fails chain validation.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+from ..chain.block import Block, build_block
+from ..chain.blockchain import Blockchain
+from ..chain.transaction import (
+    CoinbaseTransaction,
+    OutPoint,
+    Transaction,
+    TxInput,
+    TxOutput,
+)
+from ..mempool.snapshots import (
+    MempoolSnapshot,
+    SizeSeries,
+    SnapshotStore,
+    SnapshotTx,
+)
+from .dataset import Dataset
+from .records import TxRecord
+
+FORMAT_VERSION = 1
+
+
+def _encode_tx(tx: Transaction) -> list:
+    return [
+        [[txin.prevout.txid, txin.prevout.index] for txin in tx.inputs],
+        [[txout.address, txout.value] for txout in tx.outputs],
+        tx.vsize,
+        tx.fee,
+        tx.nonce,
+    ]
+
+
+def _decode_tx(payload: list) -> Transaction:
+    inputs, outputs, vsize, fee, nonce = payload
+    return Transaction(
+        inputs=tuple(TxInput(OutPoint(txid, index)) for txid, index in inputs),
+        outputs=tuple(TxOutput(address, value) for address, value in outputs),
+        vsize=vsize,
+        fee=fee,
+        nonce=nonce,
+    )
+
+
+def _encode_block(block: Block) -> dict:
+    coinbase = block.coinbase
+    return {
+        "height": block.height,
+        "timestamp": block.timestamp,
+        "coinbase": {
+            "address": coinbase.outputs[0].address,
+            "value": coinbase.outputs[0].value,
+            "marker": coinbase.marker,
+            "vsize": coinbase.vsize,
+        },
+        "txs": [_encode_tx(tx) for tx in block.transactions],
+    }
+
+
+def _decode_block(payload: dict, prev_hash: str) -> Block:
+    cb = payload["coinbase"]
+    coinbase = CoinbaseTransaction(
+        inputs=(),
+        outputs=(TxOutput(cb["address"], cb["value"]),),
+        vsize=cb["vsize"],
+        fee=0,
+        nonce=payload["height"],
+        marker=cb["marker"],
+    )
+    return build_block(
+        height=payload["height"],
+        prev_hash=prev_hash,
+        timestamp=payload["timestamp"],
+        coinbase=coinbase,
+        transactions=[_decode_tx(tx) for tx in payload["txs"]],
+    )
+
+
+def _encode_record(record: TxRecord) -> list:
+    return [
+        record.txid,
+        record.broadcast_time,
+        record.observer_arrival,
+        record.fee,
+        record.vsize,
+        record.commit_height,
+        record.commit_position,
+        sorted(record.labels),
+    ]
+
+
+def _decode_record(payload: list) -> TxRecord:
+    txid, broadcast, arrival, fee, vsize, height, position, labels = payload
+    return TxRecord(
+        txid=txid,
+        broadcast_time=broadcast,
+        observer_arrival=arrival,
+        fee=fee,
+        vsize=vsize,
+        commit_height=height,
+        commit_position=position,
+        labels=frozenset(labels),
+    )
+
+
+def _encode_snapshot(snapshot: MempoolSnapshot) -> dict:
+    return {
+        "time": snapshot.time,
+        "txs": [
+            [tx.txid, tx.arrival_time, tx.fee, tx.vsize] for tx in snapshot.txs
+        ],
+    }
+
+
+def _decode_snapshot(payload: dict) -> MempoolSnapshot:
+    return MempoolSnapshot(
+        time=payload["time"],
+        txs=tuple(
+            SnapshotTx(txid=t, arrival_time=a, fee=f, vsize=v)
+            for t, a, f, v in payload["txs"]
+        ),
+    )
+
+
+def dataset_to_dict(dataset: Dataset) -> dict:
+    """Encode a dataset as a JSON-ready dictionary."""
+    size_series = None
+    if dataset.size_series is not None:
+        size_series = {
+            "times": dataset.size_series.times,
+            "vsizes": dataset.size_series.sizes(),
+            "tx_counts": dataset.size_series.tx_counts(),
+        }
+    return {
+        "version": FORMAT_VERSION,
+        "name": dataset.name,
+        "blocks": [_encode_block(block) for block in dataset.chain],
+        "snapshots": [_encode_snapshot(s) for s in dataset.snapshots],
+        "tx_records": [_encode_record(r) for r in dataset.tx_records.values()],
+        "block_pools": {str(h): p for h, p in dataset.block_pools.items()},
+        "pool_wallets": {
+            pool: sorted(wallets) for pool, wallets in dataset.pool_wallets.items()
+        },
+        "size_series": size_series,
+        "metadata": dataset.metadata,
+    }
+
+
+def dataset_from_dict(payload: dict) -> Dataset:
+    """Decode a dataset; chain linkage is re-validated on the way in."""
+    version = payload.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported dataset format version: {version}")
+    chain = Blockchain()
+    for block_payload in payload["blocks"]:
+        chain.append(_decode_block(block_payload, chain.tip_hash))
+    snapshots = SnapshotStore(
+        _decode_snapshot(s) for s in payload["snapshots"]
+    )
+    records = {}
+    for record_payload in payload["tx_records"]:
+        record = _decode_record(record_payload)
+        records[record.txid] = record
+    size_series = None
+    if payload.get("size_series") is not None:
+        raw = payload["size_series"]
+        size_series = SizeSeries(
+            times=raw["times"], vsizes=raw["vsizes"], tx_counts=raw.get("tx_counts")
+        )
+    return Dataset(
+        name=payload["name"],
+        chain=chain,
+        snapshots=snapshots,
+        tx_records=records,
+        block_pools={int(h): p for h, p in payload["block_pools"].items()},
+        pool_wallets={
+            pool: frozenset(wallets)
+            for pool, wallets in payload.get("pool_wallets", {}).items()
+        },
+        size_series=size_series,
+        metadata=payload.get("metadata", {}),
+    )
+
+
+def save_dataset(dataset: Dataset, path: Union[str, Path]) -> Path:
+    """Write a dataset to ``path`` as gzip-compressed JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with gzip.open(path, "wt", encoding="utf-8") as handle:
+        json.dump(dataset_to_dict(dataset), handle, separators=(",", ":"))
+    return path
+
+
+def load_dataset(path: Union[str, Path]) -> Dataset:
+    """Read a dataset previously written by :func:`save_dataset`."""
+    with gzip.open(Path(path), "rt", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    return dataset_from_dict(payload)
+
+
+def dataset_path(directory: Union[str, Path], name: str, seed: int) -> Path:
+    """Canonical cache path for a (scenario, seed) pair."""
+    return Path(directory) / f"{name}-seed{seed}.json.gz"
+
+
+def load_if_exists(path: Union[str, Path]) -> Optional[Dataset]:
+    """Load a dataset if the file exists, else None."""
+    path = Path(path)
+    if not path.exists():
+        return None
+    return load_dataset(path)

@@ -1,0 +1,108 @@
+"""Typed row records for curated datasets.
+
+A dataset is the joined product the paper's analyses consume; each row
+type captures one measurement stream.  Ground-truth labels (which
+transactions were self-interest payments, scam payments, or dark-fee
+accelerated) ride along on :class:`TxRecord` — the simulator knows the
+truth the paper had to infer, and keeping it lets experiments score
+their detectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: Well-known label prefixes attached to transactions by the workload.
+LABEL_SELF_INTEREST = "self-interest"  # self-interest:<pool name>
+LABEL_SCAM = "scam"
+LABEL_ACCELERATED = "accelerated"  # accelerated:<service name>
+LABEL_ZERO_FEE = "zero-fee"
+LABEL_LOW_FEE = "low-fee"
+#: A replace-by-fee bump (public fee acceleration) and the transaction
+#: it displaced.
+LABEL_RBF_BUMP = "rbf-bump"
+LABEL_RBF_ORIGINAL = "rbf-original"
+
+
+def make_label(prefix: str, value: str = "") -> str:
+    """Compose a namespaced label like ``self-interest:F2Pool``."""
+    return f"{prefix}:{value}" if value else prefix
+
+
+def label_value(label: str, prefix: str) -> Optional[str]:
+    """Extract the value of a namespaced label, or None if mismatched."""
+    if label == prefix:
+        return ""
+    if label.startswith(prefix + ":"):
+        return label[len(prefix) + 1 :]
+    return None
+
+
+@dataclass(frozen=True)
+class TxRecord:
+    """Everything known about one transaction across the pipeline."""
+
+    txid: str
+    broadcast_time: float
+    observer_arrival: Optional[float]
+    fee: int
+    vsize: int
+    commit_height: Optional[int]
+    commit_position: Optional[int]
+    labels: frozenset[str] = field(default_factory=frozenset)
+
+    @property
+    def fee_rate(self) -> float:
+        return self.fee / self.vsize
+
+    @property
+    def committed(self) -> bool:
+        return self.commit_height is not None
+
+    @property
+    def observed(self) -> bool:
+        """True if the observer node admitted this transaction."""
+        return self.observer_arrival is not None
+
+    def has_label(self, prefix: str, value: str = "") -> bool:
+        """Membership test for a namespaced label."""
+        if value:
+            return make_label(prefix, value) in self.labels
+        return any(
+            label == prefix or label.startswith(prefix + ":")
+            for label in self.labels
+        )
+
+    def label_values(self, prefix: str) -> list[str]:
+        """All values carried under ``prefix``."""
+        values = []
+        for label in self.labels:
+            value = label_value(label, prefix)
+            if value is not None:
+                values.append(value)
+        return values
+
+
+@dataclass(frozen=True)
+class BlockRecord:
+    """Per-block summary used by attribution-level analyses."""
+
+    height: int
+    block_hash: str
+    timestamp: float
+    pool: str
+    tx_count: int
+    vsize: int
+    total_fees: int
+    subsidy: int
+
+    @property
+    def is_empty(self) -> bool:
+        return self.tx_count == 0
+
+    @property
+    def fee_share_of_revenue(self) -> float:
+        """Fees as a fraction of total block revenue (Table 5 cell)."""
+        revenue = self.total_fees + self.subsidy
+        return self.total_fees / revenue if revenue else 0.0

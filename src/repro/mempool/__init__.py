@@ -1,0 +1,44 @@
+"""Mempool substrate: admission, ancestry/CPFP, and snapshotting."""
+
+from .ancestry import (
+    AncestryIndex,
+    PackageStats,
+    cpfp_fraction,
+    cpfp_involved_txids,
+    dependency_closure,
+    find_cpfp_parent_txids,
+    find_cpfp_txids,
+)
+from .mempool import AdmissionResult, Mempool, MempoolEntry, RejectionReason
+from .snapshots import (
+    CONGESTION_BINS,
+    MempoolSnapshot,
+    SizeSeries,
+    SnapshotRecorder,
+    SnapshotStore,
+    SnapshotTx,
+    congestion_bin,
+    merge_stores,
+)
+
+__all__ = [
+    "AncestryIndex",
+    "PackageStats",
+    "cpfp_fraction",
+    "cpfp_involved_txids",
+    "dependency_closure",
+    "find_cpfp_parent_txids",
+    "find_cpfp_txids",
+    "AdmissionResult",
+    "Mempool",
+    "MempoolEntry",
+    "RejectionReason",
+    "CONGESTION_BINS",
+    "MempoolSnapshot",
+    "SizeSeries",
+    "SnapshotRecorder",
+    "SnapshotStore",
+    "SnapshotTx",
+    "congestion_bin",
+    "merge_stores",
+]

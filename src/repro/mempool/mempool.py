@@ -1,0 +1,283 @@
+"""The mempool: a node's buffer of unconfirmed transactions.
+
+The mempool is where the paper's three norms act: norm III filters what
+enters (minimum fee-rate), norms I and II govern how miners drain it.
+This implementation keeps the entry metadata the audit needs — most
+importantly the *arrival time* at this node, which differs across nodes
+and is the reason the paper tightens its violation test with an ε slack.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Optional
+
+from ..chain.constants import DEFAULT_MIN_RELAY_FEE_RATE
+from ..chain.transaction import Transaction
+
+
+@dataclass(frozen=True)
+class MempoolEntry:
+    """A transaction plus node-local bookkeeping."""
+
+    tx: Transaction
+    arrival_time: float
+
+    @property
+    def txid(self) -> str:
+        return self.tx.txid
+
+    @property
+    def fee_rate(self) -> float:
+        return self.tx.fee_rate
+
+    @property
+    def vsize(self) -> int:
+        return self.tx.vsize
+
+
+class RejectionReason:
+    """Why a transaction was refused admission."""
+
+    BELOW_MIN_FEE_RATE = "below-min-fee-rate"
+    ALREADY_PRESENT = "already-present"
+    ALREADY_CONFIRMED = "already-confirmed"
+    EXPIRED = "expired"
+    #: Conflicts with a pending transaction and fails the RBF rules.
+    INSUFFICIENT_REPLACEMENT = "insufficient-replacement"
+    #: Pool is full and the transaction pays less than the eviction floor.
+    MEMPOOL_FULL = "mempool-full"
+
+
+@dataclass(frozen=True)
+class AdmissionResult:
+    """Outcome of offering a transaction to the mempool."""
+
+    accepted: bool
+    reason: Optional[str] = None
+    #: Txids evicted by an accepted replace-by-fee transaction.
+    replaced: tuple[str, ...] = ()
+
+
+class Mempool:
+    """Fee-rate aware unconfirmed-transaction pool.
+
+    Parameters
+    ----------
+    min_fee_rate:
+        Norm III threshold in sat/vB.  The paper's dataset-A node used
+        the default (1 sat/vB); its dataset-B node was configured with 0
+        to accept even zero-fee transactions.
+    expiry_seconds:
+        Entries older than this are dropped on :meth:`expire` (Bitcoin
+        Core defaults to 14 days).
+    """
+
+    def __init__(
+        self,
+        min_fee_rate: float = DEFAULT_MIN_RELAY_FEE_RATE,
+        expiry_seconds: float = 14 * 24 * 3600.0,
+        allow_rbf: bool = True,
+        max_vsize: Optional[int] = None,
+    ) -> None:
+        if min_fee_rate < 0:
+            raise ValueError("min_fee_rate must be non-negative")
+        if max_vsize is not None and max_vsize <= 0:
+            raise ValueError("max_vsize must be positive when set")
+        self.min_fee_rate = min_fee_rate
+        self.expiry_seconds = expiry_seconds
+        self.allow_rbf = allow_rbf
+        #: Size cap in vbytes (Bitcoin Core's ``maxmempool``); when the
+        #: pool overflows, the lowest fee-rate entries are evicted and
+        #: an incoming transaction cheaper than what it would displace
+        #: is rejected outright.
+        self.max_vsize = max_vsize
+        self._entries: dict[str, MempoolEntry] = {}
+        self._total_vsize = 0
+        self._total_fees = 0
+        # Lazy max-heap over (-fee_rate, seq); stale items are skipped on pop.
+        self._heap: list[tuple[float, int, str]] = []
+        self._seq = itertools.count()
+        self._rejections: dict[str, int] = {}
+        # Outpoint -> spending txid, for conflict (double-spend) detection.
+        self._spenders: dict[object, str] = {}
+
+    # ------------------------------------------------------------------
+    # Admission / removal
+    # ------------------------------------------------------------------
+    def conflicts_of(self, tx: Transaction) -> list[str]:
+        """Pending txids spending any of ``tx``'s inputs."""
+        conflicting: list[str] = []
+        for txin in tx.inputs:
+            spender = self._spenders.get(txin.prevout)
+            if spender is not None and spender != tx.txid:
+                conflicting.append(spender)
+        return conflicting
+
+    def _rbf_acceptable(self, tx: Transaction, conflicts: list[str]) -> bool:
+        """Simplified BIP-125: pay more total fee AND a higher fee-rate."""
+        if not self.allow_rbf:
+            return False
+        displaced_fee = sum(self._entries[c].tx.fee for c in conflicts)
+        displaced_rate = max(self._entries[c].fee_rate for c in conflicts)
+        return tx.fee > displaced_fee and tx.fee_rate > displaced_rate
+
+    def offer(self, tx: Transaction, now: float) -> AdmissionResult:
+        """Apply admission policy and insert ``tx`` if it passes.
+
+        A transaction conflicting with pending ones (spending the same
+        outpoint) is admitted only under the replace-by-fee rules —
+        strictly more total fee and a strictly higher fee-rate than
+        what it displaces — in which case the conflicts are evicted and
+        reported in the result.
+        """
+        if tx.txid in self._entries:
+            return self._reject(RejectionReason.ALREADY_PRESENT)
+        if tx.fee_rate < self.min_fee_rate:
+            return self._reject(RejectionReason.BELOW_MIN_FEE_RATE)
+        conflicts = self.conflicts_of(tx)
+        replaced: tuple[str, ...] = ()
+        if conflicts:
+            if not self._rbf_acceptable(tx, conflicts):
+                return self._reject(RejectionReason.INSUFFICIENT_REPLACEMENT)
+            for conflict in conflicts:
+                self.remove(conflict)
+            replaced = tuple(conflicts)
+        evicted = self._make_room(tx)
+        if evicted is None:
+            return self._reject(RejectionReason.MEMPOOL_FULL)
+        entry = MempoolEntry(tx=tx, arrival_time=now)
+        self._entries[tx.txid] = entry
+        self._total_vsize += tx.vsize
+        self._total_fees += tx.fee
+        for txin in tx.inputs:
+            self._spenders[txin.prevout] = tx.txid
+        heapq.heappush(self._heap, (-tx.fee_rate, next(self._seq), tx.txid))
+        return AdmissionResult(
+            accepted=True, replaced=replaced + tuple(evicted)
+        )
+
+    def _make_room(self, tx: Transaction) -> Optional[list[str]]:
+        """Evict the cheapest entries until ``tx`` fits; None = rejected.
+
+        The incoming transaction must out-pay everything it displaces;
+        a transaction cheaper than the current eviction floor bounces,
+        as in Bitcoin Core's full-mempool behaviour.
+        """
+        if self.max_vsize is None or self._total_vsize + tx.vsize <= self.max_vsize:
+            return []
+        cheapest_first = sorted(
+            self._entries.values(), key=lambda e: (e.fee_rate, -e.arrival_time)
+        )
+        evicted: list[str] = []
+        freed = 0
+        needed = self._total_vsize + tx.vsize - self.max_vsize
+        for entry in cheapest_first:
+            if freed >= needed:
+                break
+            if entry.fee_rate >= tx.fee_rate:
+                return None  # would displace better-paying traffic
+            evicted.append(entry.txid)
+            freed += entry.vsize
+        if freed < needed:
+            return None
+        for txid in evicted:
+            self.remove(txid)
+        return evicted
+
+    def _reject(self, reason: str) -> AdmissionResult:
+        self._rejections[reason] = self._rejections.get(reason, 0) + 1
+        return AdmissionResult(accepted=False, reason=reason)
+
+    def remove(self, txid: str) -> Optional[MempoolEntry]:
+        """Remove and return an entry (no-op if absent).
+
+        Stale heap residue is tolerated: pops skip entries no longer in
+        the live map, which keeps removal O(1).
+        """
+        entry = self._entries.pop(txid, None)
+        if entry is not None:
+            self._total_vsize -= entry.vsize
+            self._total_fees -= entry.tx.fee
+            for txin in entry.tx.inputs:
+                if self._spenders.get(txin.prevout) == txid:
+                    del self._spenders[txin.prevout]
+        return entry
+
+    def remove_confirmed(self, txids: Iterable[str]) -> int:
+        """Drop all entries committed by a newly seen block."""
+        removed = 0
+        for txid in txids:
+            if self.remove(txid) is not None:
+                removed += 1
+        return removed
+
+    def expire(self, now: float) -> list[MempoolEntry]:
+        """Evict entries older than ``expiry_seconds``; return them."""
+        cutoff = now - self.expiry_seconds
+        stale = [e for e in self._entries.values() if e.arrival_time < cutoff]
+        for entry in stale:
+            self.remove(entry.txid)
+        return stale
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __contains__(self, txid: str) -> bool:
+        return txid in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[MempoolEntry]:
+        return iter(list(self._entries.values()))
+
+    def get(self, txid: str) -> Optional[MempoolEntry]:
+        return self._entries.get(txid)
+
+    def arrival_time(self, txid: str) -> Optional[float]:
+        entry = self._entries.get(txid)
+        return entry.arrival_time if entry is not None else None
+
+    @property
+    def total_vsize(self) -> int:
+        """Aggregate vsize of queued transactions — the congestion gauge."""
+        return self._total_vsize
+
+    @property
+    def total_fees(self) -> int:
+        return self._total_fees
+
+    @property
+    def rejection_counts(self) -> dict[str, int]:
+        return dict(self._rejections)
+
+    def entries(self) -> list[MempoolEntry]:
+        """All entries, unordered."""
+        return list(self._entries.values())
+
+    def entries_by_fee_rate(self) -> list[MempoolEntry]:
+        """Entries ordered by descending fee-rate (norm ordering).
+
+        Ties break by arrival order (earlier first), matching the
+        first-seen tie-break miners effectively apply.
+        """
+        ordered = sorted(
+            self._entries.values(),
+            key=lambda e: (-e.fee_rate, e.arrival_time, e.txid),
+        )
+        return ordered
+
+    def iter_best(self) -> Iterator[MempoolEntry]:
+        """Yield entries from best fee-rate down, destructively popping."""
+        while self._heap:
+            _, _, txid = heapq.heappop(self._heap)
+            entry = self._entries.get(txid)
+            if entry is not None:
+                yield entry
+
+    def filter(self, predicate: Callable[[MempoolEntry], bool]) -> list[MempoolEntry]:
+        """Entries satisfying ``predicate``."""
+        return [entry for entry in self._entries.values() if predicate(entry)]

@@ -1,0 +1,246 @@
+"""GetBlockTemplate: how miners fill and order a block.
+
+Two template builders live here:
+
+* :func:`greedy_feerate_template` — the *norm* codified by the paper
+  (§2.1): rank pending transactions purely by fee-per-vbyte, fill the
+  block top-down.  This is also the predictor behind PPE/SPPE.
+* :func:`ancestor_package_template` — what Bitcoin Core actually ships
+  since 0.12: select by *ancestor-package* fee-rate so a high-fee child
+  can pull its cheap parent in (CPFP).  The daylight between the two
+  builders is exactly the CPFP noise the paper filters out of its
+  violation analyses.
+
+Both builders respect the block vsize budget and topological validity
+(no child before its in-block parent).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..chain.constants import MAX_BLOCK_VSIZE
+from ..chain.transaction import Transaction
+from ..mempool.mempool import MempoolEntry
+
+
+@dataclass(frozen=True)
+class BlockTemplate:
+    """An ordered transaction list plus its aggregate fee and size."""
+
+    transactions: tuple[Transaction, ...]
+    total_fee: int
+    total_vsize: int
+
+    def __len__(self) -> int:
+        return len(self.transactions)
+
+    def txids(self) -> list[str]:
+        return [tx.txid for tx in self.transactions]
+
+
+def _fee_rate_key(entry: MempoolEntry) -> tuple[float, float, str]:
+    """Descending fee-rate; ties by arrival then txid (deterministic)."""
+    return (-entry.fee_rate, entry.arrival_time, entry.txid)
+
+
+def greedy_feerate_template(
+    entries: Sequence[MempoolEntry],
+    max_vsize: int = MAX_BLOCK_VSIZE,
+    reserved_vsize: int = 0,
+) -> BlockTemplate:
+    """Fill a block greedily by individual fee-rate (norms I and II).
+
+    Transactions that do not fit are skipped and the scan continues, as
+    the real assembler does; dependencies are ignored — this is the
+    idealised norm, not a validity-checked template.
+
+    ``reserved_vsize`` accounts for the coinbase.
+    """
+    budget = max_vsize - reserved_vsize
+    chosen: list[Transaction] = []
+    used = 0
+    fee = 0
+    for entry in sorted(entries, key=_fee_rate_key):
+        if used + entry.vsize > budget:
+            continue
+        chosen.append(entry.tx)
+        used += entry.vsize
+        fee += entry.tx.fee
+    return BlockTemplate(tuple(chosen), total_fee=fee, total_vsize=used)
+
+
+def ancestor_package_template(
+    entries: Sequence[MempoolEntry],
+    max_vsize: int = MAX_BLOCK_VSIZE,
+    reserved_vsize: int = 0,
+) -> BlockTemplate:
+    """Bitcoin Core-style ancestor-package selection.
+
+    Repeatedly pick the pending transaction whose package (itself plus
+    all unconfirmed ancestors not yet selected) has the highest
+    fee-rate, then emit the package in topological order.  Package
+    scores are recomputed lazily: a popped candidate whose ancestor set
+    changed since scoring is re-scored and pushed back, the standard
+    "lazy update" trick that keeps the loop near O(n log n).
+    """
+    budget = max_vsize - reserved_vsize
+    by_txid = {entry.txid: entry for entry in entries}
+
+    # Precompute, once, the in-set parent links and full ancestor sets.
+    # Real mempool graphs are shallow (mostly 0-1 in-set parents), so a
+    # memoised post-order walk is effectively linear.
+    parents: dict[str, tuple[str, ...]] = {}
+    for entry in entries:
+        parents[entry.txid] = tuple(
+            p for p in entry.tx.parent_txids if p in by_txid
+        )
+    ancestors: dict[str, frozenset[str]] = {}
+
+    def ancestors_of(txid: str) -> frozenset[str]:
+        cached = ancestors.get(txid)
+        if cached is not None:
+            return cached
+        stack = [txid]
+        while stack:
+            current = stack[-1]
+            missing = [p for p in parents[current] if p not in ancestors]
+            if missing:
+                stack.extend(missing)
+                continue
+            stack.pop()
+            if current in ancestors:
+                continue
+            acc: set[str] = set()
+            for parent in parents[current]:
+                acc.add(parent)
+                acc.update(ancestors[parent])
+            ancestors[current] = frozenset(acc)
+        return ancestors[txid]
+
+    selected: set[str] = set()
+    ordered: list[Transaction] = []
+    used = 0
+    fee = 0
+
+    def package_of(txid: str) -> tuple[list[str], int, int]:
+        """Unselected package members (topological), fee, vsize."""
+        members = [a for a in ancestors_of(txid) if a not in selected]
+        members.append(txid)
+        members.sort(key=lambda t: (len(ancestors_of(t)), t))
+        pkg_fee = sum(by_txid[t].tx.fee for t in members)
+        pkg_vsize = sum(by_txid[t].vsize for t in members)
+        return members, pkg_fee, pkg_vsize
+
+    heap: list[tuple[float, float, str]] = []
+    for entry in entries:
+        anc = ancestors_of(entry.txid)
+        if anc:
+            pkg_fee = entry.tx.fee + sum(by_txid[a].tx.fee for a in anc)
+            pkg_vsize = entry.vsize + sum(by_txid[a].vsize for a in anc)
+        else:
+            pkg_fee = entry.tx.fee
+            pkg_vsize = entry.vsize
+        heapq.heappush(heap, (-pkg_fee / pkg_vsize, entry.arrival_time, entry.txid))
+
+    while heap:
+        neg_rate, arrival, txid = heapq.heappop(heap)
+        if txid in selected:
+            continue
+        if not ancestors_of(txid):
+            # Singleton package: the scored rate is always current.
+            entry = by_txid[txid]
+            if used + entry.vsize > budget:
+                continue
+            selected.add(txid)
+            ordered.append(entry.tx)
+            used += entry.vsize
+            fee += entry.tx.fee
+            continue
+        members, pkg_fee, pkg_vsize = package_of(txid)
+        current_rate = pkg_fee / pkg_vsize
+        if -neg_rate - current_rate > 1e-12:
+            # Stale score (an ancestor got selected via another package);
+            # re-queue at the fresh, higher rate.
+            heapq.heappush(heap, (-current_rate, arrival, txid))
+            continue
+        if used + pkg_vsize > budget:
+            continue
+        for member in members:
+            selected.add(member)
+            ordered.append(by_txid[member].tx)
+        used += pkg_vsize
+        fee += pkg_fee
+
+    return BlockTemplate(tuple(ordered), total_fee=fee, total_vsize=used)
+
+
+def repair_topological_order(
+    transactions: Sequence[Transaction],
+) -> list[Transaction]:
+    """Minimally reorder so no child precedes an in-list parent.
+
+    Walks the list once, deferring any transaction whose in-list parent
+    has not been emitted yet; deferred transactions are emitted as soon
+    as their last parent appears.  The relative order of unconstrained
+    transactions is preserved, so policies that perturb ordering (e.g.
+    :class:`~repro.mining.policies.NoisyPolicy`) can stay block-valid.
+    """
+    in_list = {tx.txid for tx in transactions}
+    emitted: set[str] = set()
+    waiting: dict[str, list[Transaction]] = {}
+    ordered: list[Transaction] = []
+
+    def emit(tx: Transaction) -> None:
+        ordered.append(tx)
+        emitted.add(tx.txid)
+        for blocked in waiting.pop(tx.txid, []):
+            missing = [
+                p
+                for p in blocked.parent_txids
+                if p in in_list and p not in emitted
+            ]
+            if not missing:
+                emit(blocked)
+            else:
+                waiting.setdefault(missing[0], []).append(blocked)
+
+    for tx in transactions:
+        missing = [p for p in tx.parent_txids if p in in_list and p not in emitted]
+        if missing:
+            waiting.setdefault(missing[0], []).append(tx)
+        else:
+            emit(tx)
+    if len(ordered) != len(transactions):
+        raise ValueError("dependency cycle among block transactions")
+    return ordered
+
+
+def is_topologically_valid(transactions: Sequence[Transaction]) -> bool:
+    """True when no transaction precedes an in-list parent it spends."""
+    seen: set[str] = set()
+    in_list = {tx.txid for tx in transactions}
+    for tx in transactions:
+        for parent in tx.parent_txids:
+            if parent in in_list and parent not in seen:
+                return False
+        seen.add(tx.txid)
+    return True
+
+
+def template_revenue(template: BlockTemplate, subsidy: int) -> int:
+    """Miner revenue for committing this template."""
+    return subsidy + template.total_fee
+
+
+def compare_templates(
+    left: BlockTemplate, right: BlockTemplate
+) -> Optional[BlockTemplate]:
+    """Return the higher-fee template (None on an exact tie)."""
+    if left.total_fee > right.total_fee:
+        return left
+    if right.total_fee > left.total_fee:
+        return right
+    return None

@@ -1,0 +1,208 @@
+"""Candidate chain-neutrality norms (§6.1's open questions, implemented).
+
+The paper closes by asking what transaction-prioritization norms
+*should* look like: should waiting time count, so no transaction starves
+indefinitely?  Should transferred value matter?  Can ordering be made
+source-blind, like network neutrality for ISPs?  This module implements
+concrete candidate policies so those questions become measurable:
+
+* :class:`AgedFeeRatePolicy` — fee-rate plus a waiting-time credit, the
+  classic cure for starvation;
+* :class:`ValueDensityPolicy` — ranks by transferred value per vbyte,
+  the alternative §6.1 explicitly floats (and warns about);
+* :class:`FairShareRoundRobinPolicy` — deficit-round-robin across fee
+  bands, guaranteeing every band a share of block space;
+* :class:`RandomLotteryPolicy` — fee-blind uniform selection, the
+  neutrality extreme.
+
+The companion metrics live in :mod:`repro.core.neutrality`; the
+``ext_norms`` experiment compares the policies on delay fairness,
+starvation and miner revenue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..chain.constants import MAX_BLOCK_VSIZE
+from ..chain.transaction import Transaction
+from ..mempool.mempool import MempoolEntry
+from .gbt import BlockTemplate
+
+
+def _fill_in_order(
+    ranked: Sequence[MempoolEntry], budget: int
+) -> BlockTemplate:
+    """Fill a template following a precomputed ranking."""
+    chosen: list[Transaction] = []
+    used = 0
+    fee = 0
+    for entry in ranked:
+        if used + entry.vsize > budget:
+            continue
+        chosen.append(entry.tx)
+        used += entry.vsize
+        fee += entry.tx.fee
+    return BlockTemplate(tuple(chosen), total_fee=fee, total_vsize=used)
+
+
+@dataclass(frozen=True)
+class AgedFeeRatePolicy:
+    """Fee-rate plus a waiting-time credit.
+
+    Effective score = fee_rate + ``aging_rate`` sat/vB per hour waited.
+    With aging_rate > 0 every transaction eventually outranks fresh
+    traffic, bounding worst-case delay — the anti-starvation norm §6.1
+    asks about.  The current time is approximated by the newest arrival
+    in the pending set.
+    """
+
+    aging_rate_sat_vb_per_hour: float = 20.0
+
+    def build(
+        self,
+        entries: Sequence[MempoolEntry],
+        max_vsize: int = MAX_BLOCK_VSIZE,
+        reserved_vsize: int = 0,
+    ) -> BlockTemplate:
+        if not entries:
+            return BlockTemplate((), 0, 0)
+        now = max(entry.arrival_time for entry in entries)
+
+        def score(entry: MempoolEntry) -> float:
+            waited_hours = (now - entry.arrival_time) / 3600.0
+            return entry.fee_rate + self.aging_rate_sat_vb_per_hour * waited_hours
+
+        ranked = sorted(
+            entries, key=lambda e: (-score(e), e.arrival_time, e.txid)
+        )
+        return _fill_in_order(ranked, max_vsize - reserved_vsize)
+
+
+@dataclass(frozen=True)
+class ValueDensityPolicy:
+    """Rank by transferred value per vbyte.
+
+    §6.1 notes fee-rate ordering "favors larger value over smaller
+    value transactions" only indirectly; this policy makes value the
+    explicit criterion, so experiments can show what it does to small
+    payments (it starves them — which is the point of measuring).
+    """
+
+    def build(
+        self,
+        entries: Sequence[MempoolEntry],
+        max_vsize: int = MAX_BLOCK_VSIZE,
+        reserved_vsize: int = 0,
+    ) -> BlockTemplate:
+        ranked = sorted(
+            entries,
+            key=lambda e: (-e.tx.output_value / e.vsize, e.arrival_time, e.txid),
+        )
+        return _fill_in_order(ranked, max_vsize - reserved_vsize)
+
+
+@dataclass
+class FairShareRoundRobinPolicy:
+    """Deficit round-robin over fee bands.
+
+    Block space is split between fee bands in ``weights`` proportion;
+    within a band, the oldest transaction goes first.  High-fee traffic
+    still gets the largest share (keeping most of the revenue), but the
+    low band can no longer be starved outright.
+    """
+
+    #: (upper fee-rate bound in sat/vB, share of block space).
+    bands: tuple[tuple[float, float], ...] = (
+        (10.0, 0.15),
+        (100.0, 0.35),
+        (float("inf"), 0.50),
+    )
+
+    def build(
+        self,
+        entries: Sequence[MempoolEntry],
+        max_vsize: int = MAX_BLOCK_VSIZE,
+        reserved_vsize: int = 0,
+    ) -> BlockTemplate:
+        budget = max_vsize - reserved_vsize
+        queues: list[list[MempoolEntry]] = [[] for _ in self.bands]
+        for entry in entries:
+            for index, (bound, _) in enumerate(self.bands):
+                if entry.fee_rate <= bound:
+                    queues[index].append(entry)
+                    break
+        for queue in queues:
+            queue.sort(key=lambda e: (e.arrival_time, e.txid))
+
+        chosen: list[Transaction] = []
+        used = 0
+        fee = 0
+        # First pass: honour each band's guaranteed share.
+        leftovers: list[MempoolEntry] = []
+        for (bound, share), queue in zip(self.bands, queues):
+            band_budget = int(budget * share)
+            band_used = 0
+            for entry in queue:
+                if band_used + entry.vsize > band_budget or used + entry.vsize > budget:
+                    leftovers.append(entry)
+                    continue
+                chosen.append(entry.tx)
+                band_used += entry.vsize
+                used += entry.vsize
+                fee += entry.tx.fee
+        # Second pass: redistribute unused space by fee-rate.
+        leftovers.sort(key=lambda e: (-e.fee_rate, e.arrival_time, e.txid))
+        for entry in leftovers:
+            if used + entry.vsize > budget:
+                continue
+            chosen.append(entry.tx)
+            used += entry.vsize
+            fee += entry.tx.fee
+        return BlockTemplate(tuple(chosen), total_fee=fee, total_vsize=used)
+
+
+@dataclass
+class RandomLotteryPolicy:
+    """Fee-blind uniform random selection — the neutrality extreme.
+
+    Every pending transaction has the same inclusion chance regardless
+    of fee; the benchmark shows what that perfect "fairness" costs in
+    miner revenue and in incentive compatibility.
+    """
+
+    rng: np.random.Generator = field(
+        default_factory=lambda: np.random.default_rng(0)
+    )
+
+    def build(
+        self,
+        entries: Sequence[MempoolEntry],
+        max_vsize: int = MAX_BLOCK_VSIZE,
+        reserved_vsize: int = 0,
+    ) -> BlockTemplate:
+        order = list(entries)
+        self.rng.shuffle(order)  # type: ignore[arg-type]
+        return _fill_in_order(order, max_vsize - reserved_vsize)
+
+
+#: The candidate norms by name, for experiments and the CLI.
+CANDIDATE_NORMS: dict[str, object] = {
+    "fee-rate": None,  # filled lazily to avoid a circular import
+    "aged-fee-rate": AgedFeeRatePolicy(),
+    "value-density": ValueDensityPolicy(),
+    "fair-share": FairShareRoundRobinPolicy(),
+    "lottery": RandomLotteryPolicy(),
+}
+
+
+def candidate_norms() -> dict[str, object]:
+    """All candidate ordering norms, including the incumbent."""
+    from .policies import FeeRatePolicy
+
+    norms = dict(CANDIDATE_NORMS)
+    norms["fee-rate"] = FeeRatePolicy(package_selection=False)
+    return norms

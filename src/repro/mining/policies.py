@@ -1,0 +1,306 @@
+"""Ordering policies: the norm, its predecessor, and misbehaviours.
+
+A policy turns a set of pending mempool entries into the ordered
+transaction list of a block template.  The honest baseline is the
+fee-rate norm (optionally with Bitcoin Core's ancestor-package
+selection).  Misbehaviours are *wrappers* that perturb a base policy:
+
+* :class:`PrioritizeSetPolicy` — put a chosen transaction set at the top
+  of the block regardless of fee (self-interest, collusion, dark-fee
+  acceleration all reduce to this with different chosen sets).
+* :class:`CensorPolicy` — refuse to commit matching transactions.
+* :class:`PriorityPolicy` — the pre-April-2016 coin-age-priority
+  ordering, used to regenerate Fig 1's era contrast.
+
+The composition is deliberate: the paper's detectors never see the
+policy, only its output blocks, so expressing misbehaviour as policy
+algebra gives experiments labelled ground truth for free.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Protocol, Sequence
+
+import numpy as np
+
+from ..chain.constants import MAX_BLOCK_VSIZE
+from ..chain.transaction import Transaction
+from ..mempool.mempool import MempoolEntry
+from .gbt import (
+    BlockTemplate,
+    ancestor_package_template,
+    greedy_feerate_template,
+    repair_topological_order,
+)
+
+
+class OrderingPolicy(Protocol):
+    """Strategy interface: order pending entries into a template."""
+
+    def build(
+        self, entries: Sequence[MempoolEntry], max_vsize: int, reserved_vsize: int
+    ) -> BlockTemplate:
+        """Produce an ordered, size-capped template."""
+        ...
+
+
+@dataclass(frozen=True)
+class FeeRatePolicy:
+    """The post-2016 norm: rank by fee-per-vbyte.
+
+    With ``package_selection`` enabled (the default, matching deployed
+    Bitcoin Core) the selection honours CPFP packages; disabled, it is
+    the idealised greedy norm the paper's predictor assumes.
+    """
+
+    package_selection: bool = True
+
+    def build(
+        self,
+        entries: Sequence[MempoolEntry],
+        max_vsize: int = MAX_BLOCK_VSIZE,
+        reserved_vsize: int = 0,
+    ) -> BlockTemplate:
+        if self.package_selection:
+            return ancestor_package_template(entries, max_vsize, reserved_vsize)
+        return greedy_feerate_template(entries, max_vsize, reserved_vsize)
+
+
+def pseudo_coin_age(txid: str) -> float:
+    """Deterministic stand-in for the age of a transaction's inputs.
+
+    Real coin-age priority needs the UTXO ages, which synthetic inputs do
+    not carry; hashing the txid into [0, 1) preserves the essential
+    property for Fig 1 — priority ordering is uncorrelated with fee-rate
+    ordering — while staying reproducible.
+    """
+    digest = hashlib.sha256(txid.encode("ascii")).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+@dataclass(frozen=True)
+class PriorityPolicy:
+    """Pre-April-2016 ordering: coin-age priority, not fee-rate.
+
+    Bitcoin Core before 0.12 ordered part of the block by
+    ``sum(input_value * input_age) / size``.  We model priority as
+    output value times a pseudo-age, normalised by vsize.
+    """
+
+    def priority(self, tx: Transaction) -> float:
+        return tx.output_value * pseudo_coin_age(tx.txid) / tx.vsize
+
+    def build(
+        self,
+        entries: Sequence[MempoolEntry],
+        max_vsize: int = MAX_BLOCK_VSIZE,
+        reserved_vsize: int = 0,
+    ) -> BlockTemplate:
+        budget = max_vsize - reserved_vsize
+        ranked = sorted(
+            entries, key=lambda e: (-self.priority(e.tx), e.arrival_time, e.txid)
+        )
+        chosen: list[Transaction] = []
+        used = 0
+        fee = 0
+        for entry in ranked:
+            if used + entry.vsize > budget:
+                continue
+            chosen.append(entry.tx)
+            used += entry.vsize
+            fee += entry.tx.fee
+        return BlockTemplate(tuple(chosen), total_fee=fee, total_vsize=used)
+
+
+#: Predicate choosing which pending entries a wrapper singles out.
+EntryPredicate = Callable[[MempoolEntry], bool]
+
+
+@dataclass
+class PrioritizeSetPolicy:
+    """Commit matching transactions first, then fall back to ``base``.
+
+    The boosted set is placed at the very top of the block (internally
+    ordered by fee-rate), mirroring how accelerated transactions appear
+    "in the first few positions within the block" (§5.4.2).  The
+    remaining capacity is filled by the base policy over the non-boosted
+    entries.
+
+    ``min_age`` makes the boost a *rescue*: only transactions pending
+    for at least that long qualify.  Collusive acceleration works this
+    way in practice — a partner pool lifts transactions that have been
+    stuck, it does not front-run the owner on fresh ones.  (The current
+    time is approximated by the newest arrival in the pending set,
+    which is accurate whenever traffic is continuous.)
+    """
+
+    base: OrderingPolicy
+    boost: EntryPredicate
+    label: str = "prioritize-set"
+    min_age: float = 0.0
+
+    def build(
+        self,
+        entries: Sequence[MempoolEntry],
+        max_vsize: int = MAX_BLOCK_VSIZE,
+        reserved_vsize: int = 0,
+    ) -> BlockTemplate:
+        if self.min_age > 0.0 and entries:
+            now = max(e.arrival_time for e in entries)
+
+            def eligible(entry: MempoolEntry) -> bool:
+                return (
+                    now - entry.arrival_time >= self.min_age
+                    and self.boost(entry)
+                )
+
+        else:
+            eligible = self.boost
+        boosted = [e for e in entries if eligible(e)]
+        rest = [e for e in entries if not eligible(e)]
+        boosted.sort(key=lambda e: (-e.fee_rate, e.arrival_time, e.txid))
+
+        budget = max_vsize - reserved_vsize
+        head: list[Transaction] = []
+        used = 0
+        fee = 0
+        for entry in boosted:
+            if used + entry.vsize > budget:
+                continue
+            head.append(entry.tx)
+            used += entry.vsize
+            fee += entry.tx.fee
+
+        tail_template = self.base.build(rest, max_vsize, reserved_vsize + used)
+        transactions = tuple(head) + tail_template.transactions
+        return BlockTemplate(
+            transactions,
+            total_fee=fee + tail_template.total_fee,
+            total_vsize=used + tail_template.total_vsize,
+        )
+
+
+@dataclass
+class CensorPolicy:
+    """Exclude matching transactions entirely (discussed in §6.1).
+
+    The paper found no evidence of deceleration/censorship in the wild;
+    this policy exists so the deceleration test has a true positive to
+    detect in ablation experiments.
+    """
+
+    base: OrderingPolicy
+    banned: EntryPredicate
+    label: str = "censor"
+
+    def build(
+        self,
+        entries: Sequence[MempoolEntry],
+        max_vsize: int = MAX_BLOCK_VSIZE,
+        reserved_vsize: int = 0,
+    ) -> BlockTemplate:
+        allowed = [e for e in entries if not self.banned(e)]
+        return self.base.build(allowed, max_vsize, reserved_vsize)
+
+
+@dataclass
+class MinFeeRatePolicy:
+    """Apply a fee-rate floor before delegating (norm III at the miner).
+
+    A floor of zero reproduces F2Pool/ViaBTC occasionally committing
+    zero-fee transactions (§4.2.3).
+    """
+
+    base: OrderingPolicy
+    floor: float = 1.0
+
+    def build(
+        self,
+        entries: Sequence[MempoolEntry],
+        max_vsize: int = MAX_BLOCK_VSIZE,
+        reserved_vsize: int = 0,
+    ) -> BlockTemplate:
+        eligible = [e for e in entries if e.fee_rate >= self.floor]
+        return self.base.build(eligible, max_vsize, reserved_vsize)
+
+
+@dataclass
+class NoisyPolicy:
+    """Fee-rate ordering with bounded random rank perturbation.
+
+    Models slop between a pool's mempool view and ours (orphaned
+    templates, RBF races, stale templates).  Each entry's sort key is its
+    fee-rate rank plus uniform noise of amplitude ``jitter`` ranks; this
+    produces small non-zero PPE for honest pools, matching Fig 7's
+    2-4% error band rather than an implausible exact zero.
+    """
+
+    base_jitter_source: "JitterSource"
+    base: OrderingPolicy = field(default_factory=FeeRatePolicy)
+    jitter: float = 2.0
+
+    def build(
+        self,
+        entries: Sequence[MempoolEntry],
+        max_vsize: int = MAX_BLOCK_VSIZE,
+        reserved_vsize: int = 0,
+    ) -> BlockTemplate:
+        template = self.base.build(entries, max_vsize, reserved_vsize)
+        txs = list(template.transactions)
+        if len(txs) > 2 and self.jitter > 0:
+            rng = self.base_jitter_source.rng
+            keys = rng.uniform(-self.jitter, self.jitter, size=len(txs)) + np.arange(
+                len(txs)
+            )
+            txs = [txs[i] for i in np.argsort(keys, kind="stable")]
+            txs = repair_topological_order(txs)
+        return BlockTemplate(
+            tuple(txs),
+            total_fee=template.total_fee,
+            total_vsize=template.total_vsize,
+        )
+
+
+@dataclass
+class JitterSource:
+    """Holds the RNG a :class:`NoisyPolicy` perturbs with.
+
+    Kept separate so frozen policies can share one mutable stream and
+    scenarios can seed it deterministically.
+    """
+
+    rng: "object"
+
+
+def txid_set_predicate(txids: Callable[[], frozenset[str]]) -> EntryPredicate:
+    """Predicate matching entries whose txid is in a (live) set.
+
+    ``txids`` is a callable so the set can grow during the simulation —
+    e.g. an acceleration service's order book.
+    """
+
+    def matches(entry: MempoolEntry) -> bool:
+        return entry.txid in txids()
+
+    return matches
+
+
+def address_predicate(
+    addresses: frozenset[str], resolver: Optional[Callable[[Transaction], frozenset[str]]] = None
+) -> EntryPredicate:
+    """Predicate matching entries that pay to (or from) ``addresses``.
+
+    ``resolver`` optionally maps a transaction to its input-side
+    addresses (requires chain context); outputs are checked directly.
+    """
+
+    def matches(entry: MempoolEntry) -> bool:
+        if entry.tx.touches_address(addresses):
+            return True
+        if resolver is not None and resolver(entry.tx) & addresses:
+            return True
+        return False
+
+    return matches

@@ -1,0 +1,226 @@
+"""Mining pools: hash power, wallets, policy, and block assembly.
+
+A pool bundles everything the audit later tries to infer from the
+outside: its share of hash power (θ0 in the statistical tests), the
+reward wallets it rotates through (Fig 8a), the ordering policy it runs
+(honest or misbehaving), and an optional acceleration service.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from ..chain.address import AddressFactory
+from ..chain.attribution import PoolDirectory
+from ..chain.block import Block, build_block
+from ..chain.constants import MAX_BLOCK_VSIZE, block_subsidy
+from ..chain.transaction import coinbase_value, make_coinbase
+from ..mempool.mempool import MempoolEntry
+from .acceleration import AccelerationService
+from .policies import FeeRatePolicy, OrderingPolicy
+
+
+@dataclass
+class MiningPool:
+    """One mining pool operator.
+
+    Parameters
+    ----------
+    name, marker:
+        Public identity; ``marker`` is embedded in coinbases and drives
+        attribution.
+    hash_share:
+        Fraction of total network hash rate (the winning probability in
+        each mining race, and the tests' θ0).
+    reward_address_count:
+        How many distinct payout wallets the pool rotates through.
+        SlushPool used 56 and Poolin 23 in dataset C (Fig 8a).
+    policy:
+        Block-ordering policy; defaults to the honest fee-rate norm.
+    acceleration_service:
+        If set, transactions in the service's order book are boosted by
+        the pool's policy (wired up by the scenario builder).
+    coinbase_vsize:
+        Reserved vsize for the coinbase when filling templates.
+    """
+
+    name: str
+    marker: str
+    hash_share: float
+    reward_address_count: int = 1
+    policy: OrderingPolicy = field(default_factory=FeeRatePolicy)
+    acceleration_service: Optional[AccelerationService] = None
+    coinbase_vsize: int = 200
+    max_block_vsize: int = MAX_BLOCK_VSIZE
+    #: Unregistered pools stay out of the attribution directory, so
+    #: their blocks show up as "unknown" (about 1.3% in dataset C).
+    registered: bool = True
+    reward_addresses: list[str] = field(default_factory=list)
+    _next_address: int = field(default=0, repr=False)
+    blocks_mined: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.hash_share <= 1.0:
+            raise ValueError(f"hash_share must be in [0,1], got {self.hash_share}")
+        if self.reward_address_count < 1:
+            raise ValueError("reward_address_count must be >= 1")
+        if not self.reward_addresses:
+            factory = AddressFactory(namespace=f"pool/{self.name}/reward")
+            self.reward_addresses = factory.batch(self.reward_address_count)
+
+    @property
+    def wallet_addresses(self) -> frozenset[str]:
+        """All addresses known to belong to this pool."""
+        return frozenset(self.reward_addresses)
+
+    def next_reward_address(self) -> str:
+        """Rotate through payout wallets round-robin."""
+        address = self.reward_addresses[self._next_address % len(self.reward_addresses)]
+        self._next_address += 1
+        return address
+
+    # ------------------------------------------------------------------
+    # Block assembly
+    # ------------------------------------------------------------------
+    def assemble_block(
+        self,
+        height: int,
+        prev_hash: str,
+        timestamp: float,
+        entries: Sequence[MempoolEntry],
+    ) -> Block:
+        """Build and 'mine' a block from this pool's pending view."""
+        template = self.policy.build(
+            entries, max_vsize=self.max_block_vsize, reserved_vsize=self.coinbase_vsize
+        )
+        subsidy = block_subsidy(height)
+        coinbase = make_coinbase(
+            reward_address=self.next_reward_address(),
+            value=coinbase_value(subsidy, template.total_fee),
+            marker=self.marker,
+            height=height,
+            vsize=self.coinbase_vsize,
+        )
+        self.blocks_mined += 1
+        return build_block(
+            height=height,
+            prev_hash=prev_hash,
+            timestamp=timestamp,
+            coinbase=coinbase,
+            transactions=template.transactions,
+        )
+
+
+def normalize_hash_shares(pools: Sequence[MiningPool]) -> list[float]:
+    """Pools' hash shares rescaled to sum to exactly 1."""
+    total = sum(pool.hash_share for pool in pools)
+    if total <= 0:
+        raise ValueError("total hash share must be positive")
+    return [pool.hash_share / total for pool in pools]
+
+
+def make_directory(pools: Iterable[MiningPool]) -> PoolDirectory:
+    """Build an attribution directory covering ``pools``."""
+    directory = PoolDirectory()
+    for pool in pools:
+        if not pool.registered:
+            continue
+        directory.register_pool(
+            pool.name, marker=pool.marker, addresses=pool.reward_addresses
+        )
+    return directory
+
+
+#: Hash-rate profiles measured by the paper (Fig 2), used by scenarios.
+#: Values are (pool name, share of blocks in the dataset).
+DATASET_A_POOLS: tuple[tuple[str, float], ...] = (
+    ("BTC.com", 0.1718),
+    ("AntPool", 0.1279),
+    ("F2Pool", 0.1129),
+    ("Poolin", 0.1103),
+    ("SlushPool", 0.0894),
+    ("ViaBTC", 0.0700),
+    ("BTC.TOP", 0.0600),
+    ("Huobi", 0.0500),
+    ("1THash & 58Coin", 0.0450),
+    ("Bitfury", 0.0400),
+    ("OKEx", 0.0350),
+    ("Binance Pool", 0.0300),
+)
+
+DATASET_B_POOLS: tuple[tuple[str, float], ...] = (
+    ("BTC.com", 0.1967),
+    ("AntPool", 0.1277),
+    ("F2Pool", 0.1157),
+    ("SlushPool", 0.0969),
+    ("Poolin", 0.0958),
+    ("ViaBTC", 0.0700),
+    ("BTC.TOP", 0.0600),
+    ("Huobi", 0.0500),
+    ("1THash & 58Coin", 0.0450),
+    ("Bitfury", 0.0400),
+    ("OKEx", 0.0350),
+    ("Binance Pool", 0.0300),
+)
+
+DATASET_C_POOLS: tuple[tuple[str, float], ...] = (
+    ("F2Pool", 0.1753),
+    ("Poolin", 0.1480),
+    ("BTC.com", 0.1199),
+    ("AntPool", 0.1096),
+    ("Huobi", 0.0750),
+    ("ViaBTC", 0.0676),
+    ("1THash & 58Coin", 0.0611),
+    ("OKEx", 0.0590),
+    ("Binance Pool", 0.0560),
+    ("SlushPool", 0.0375),
+    ("BTC.TOP", 0.0300),
+    ("Lubian.com", 0.0250),
+    ("BitFury", 0.0180),
+    ("NovaBlock", 0.0120),
+    ("SpiderPool", 0.0100),
+    ("Bitcoin.com", 0.0080),
+    ("TigerPool", 0.0070),
+    ("KanoPool", 0.0050),
+    ("Sigmapool", 0.0040),
+    ("MiningCity", 0.0030),
+)
+
+#: Reward-wallet counts for Fig 8a's distribution (paper calls out
+#: SlushPool at 56 and Poolin at 23; others are plausible magnitudes).
+REWARD_WALLET_COUNTS: dict[str, int] = {
+    "SlushPool": 56,
+    "Poolin": 23,
+    "F2Pool": 12,
+    "BTC.com": 9,
+    "AntPool": 8,
+    "Huobi": 7,
+    "ViaBTC": 6,
+    "1THash & 58Coin": 5,
+    "OKEx": 5,
+    "Binance Pool": 4,
+}
+
+
+def make_pools(
+    profile: Sequence[tuple[str, float]],
+    reward_wallet_counts: Optional[dict[str, int]] = None,
+) -> list[MiningPool]:
+    """Instantiate honest pools from a (name, share) profile.
+
+    Shares are used as-is (they need not sum to one — the mining race
+    renormalises); markers follow the "/Name/" convention.
+    """
+    counts = reward_wallet_counts or REWARD_WALLET_COUNTS
+    pools = []
+    for name, share in profile:
+        pools.append(
+            MiningPool(
+                name=name,
+                marker=f"/{name}/",
+                hash_share=share,
+                reward_address_count=counts.get(name, 2),
+            )
+        )
+    return pools

@@ -1,0 +1,27 @@
+"""P2P substrate: event scheduling, latency, nodes, gossip."""
+
+from .events import EventHandle, EventScheduler
+from .latency import (
+    BlockRelayLatency,
+    ConstantLatency,
+    LatencyModel,
+    LogNormalLatency,
+    SlowPeerLatency,
+)
+from .node import FullNode, NodeConfig, make_observer
+from .p2p import P2PNetwork, build_network
+
+__all__ = [
+    "EventHandle",
+    "EventScheduler",
+    "BlockRelayLatency",
+    "ConstantLatency",
+    "LatencyModel",
+    "LogNormalLatency",
+    "SlowPeerLatency",
+    "FullNode",
+    "NodeConfig",
+    "make_observer",
+    "P2PNetwork",
+    "build_network",
+]

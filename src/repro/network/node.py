@@ -1,0 +1,149 @@
+"""Full nodes: relay, mempool maintenance, and observation.
+
+A :class:`FullNode` mirrors the roles the paper's measurement nodes
+play: it admits transactions subject to its configured minimum fee-rate
+(dataset A's node kept the 1 sat/vB default, dataset B's node accepted
+everything), relays them to peers, removes transactions committed by
+blocks it learns about, and — in observer mode — records 15-second
+mempool snapshots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..chain.block import Block
+from ..chain.constants import DEFAULT_MIN_RELAY_FEE_RATE
+from ..chain.transaction import Transaction
+from ..mempool.mempool import Mempool
+from ..mempool.snapshots import SnapshotRecorder, SnapshotStore
+
+
+@dataclass
+class NodeConfig:
+    """Configuration knobs the paper varies between its two nodes."""
+
+    name: str
+    max_peers: int = 8
+    min_fee_rate: float = DEFAULT_MIN_RELAY_FEE_RATE
+    observer: bool = False
+    snapshot_interval: float = 15.0
+
+
+class FullNode:
+    """A Bitcoin node participating in gossip.
+
+    The node tracks which transactions and blocks it has already seen so
+    flooding terminates, exactly like the inventory sets in the real
+    protocol.
+    """
+
+    def __init__(self, config: NodeConfig) -> None:
+        self.config = config
+        self.mempool = Mempool(min_fee_rate=config.min_fee_rate)
+        self.peers: list["FullNode"] = []
+        self._seen_txids: set[str] = set()
+        self._seen_blocks: set[str] = set()
+        self._recorder: Optional[SnapshotRecorder] = (
+            SnapshotRecorder(config.snapshot_interval) if config.observer else None
+        )
+        self.blocks_seen = 0
+        #: First admission time per txid — survives mempool removal, so
+        #: measurement pipelines can join arrivals with commits.
+        self.arrival_log: dict[str, float] = {}
+
+    @property
+    def name(self) -> str:
+        return self.config.name
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FullNode({self.name!r}, peers={len(self.peers)})"
+
+    # ------------------------------------------------------------------
+    # Peering
+    # ------------------------------------------------------------------
+    def connect(self, peer: "FullNode") -> bool:
+        """Create a bidirectional link if both sides have capacity."""
+        if peer is self or peer in self.peers:
+            return False
+        if len(self.peers) >= self.config.max_peers:
+            return False
+        if len(peer.peers) >= peer.config.max_peers:
+            return False
+        self.peers.append(peer)
+        peer.peers.append(self)
+        return True
+
+    # ------------------------------------------------------------------
+    # Gossip
+    # ------------------------------------------------------------------
+    def accept_transaction(self, tx: Transaction, now: float) -> bool:
+        """Handle a transaction announcement.
+
+        Returns True when the transaction is new to this node *and*
+        passed admission — i.e. when it should be relayed onward.  A
+        transaction below the node's fee-rate threshold is dropped and
+        not relayed, which is how norm III propagates through the
+        network: low-fee transactions simply never reach most miners.
+        """
+        if tx.txid in self._seen_txids:
+            return False
+        self._seen_txids.add(tx.txid)
+        result = self.mempool.offer(tx, now)
+        if result.accepted:
+            self.arrival_log.setdefault(tx.txid, now)
+        return result.accepted
+
+    def accept_block(self, block: Block, now: float) -> bool:
+        """Handle a block announcement; True if new (relay onward)."""
+        if block.block_hash in self._seen_blocks:
+            return False
+        self._seen_blocks.add(block.block_hash)
+        self.blocks_seen += 1
+        self.mempool.remove_confirmed(tx.txid for tx in block.transactions)
+        return True
+
+    def has_seen_tx(self, txid: str) -> bool:
+        return txid in self._seen_txids
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+    def maybe_snapshot(self, now: float) -> bool:
+        """Record a snapshot if this node observes and one is due."""
+        if self._recorder is None:
+            return False
+        if not self._recorder.due(now):
+            return False
+        self._recorder.capture(self.mempool, now)
+        return True
+
+    def snapshot_store(self) -> SnapshotStore:
+        """All snapshots recorded so far (observer nodes only)."""
+        if self._recorder is None:
+            raise ValueError(f"node {self.name} is not an observer")
+        return self._recorder.store()
+
+
+def make_observer(
+    name: str,
+    min_fee_rate: float = DEFAULT_MIN_RELAY_FEE_RATE,
+    max_peers: int = 8,
+    snapshot_interval: float = 15.0,
+) -> FullNode:
+    """Convenience constructor for a measurement node.
+
+    ``make_observer("A")`` reproduces the paper's dataset-A node
+    (8 peers, default threshold); dataset B's node corresponds to
+    ``make_observer("B", min_fee_rate=0.0, max_peers=125)``.
+    """
+    return FullNode(
+        NodeConfig(
+            name=name,
+            max_peers=max_peers,
+            min_fee_rate=min_fee_rate,
+            observer=True,
+            snapshot_interval=snapshot_interval,
+        )
+    )

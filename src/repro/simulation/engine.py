@@ -1,0 +1,517 @@
+"""The simulation engine: from a workload plan to a curated Dataset.
+
+The engine plays out a scenario on a *vectorised fast path*: instead of
+flooding every transaction through an evented P2P mesh (see
+:mod:`repro.network.p2p`, which remains the reference implementation),
+it draws, per transaction, an independent arrival time at every mining
+pool and at every observer node from the latency model.  Propagation
+skew — the observable that matters to the audit — is preserved, while
+the cost drops from O(txs x edges) events to O(txs) work plus one pass
+per block.  An integration test cross-checks the two paths on a small
+scenario.
+
+Flow per scenario:
+
+1. the workload plan (time-sorted transactions) streams in;
+2. a Poisson mining race schedules block discoveries, each won by a
+   pool with probability proportional to its hash share;
+3. the winning pool assembles a block from the transactions that have
+   reached *it* by then, using its (possibly misbehaving) policy;
+4. observer mempools are reconstructed analytically afterwards into a
+   per-tick size series plus a sample of full snapshots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..chain.attribution import PoolAttributor
+from ..chain.blockchain import Blockchain
+from ..chain.constants import (
+    MAX_BLOCK_VSIZE,
+    SNAPSHOT_INTERVAL,
+    TARGET_BLOCK_INTERVAL,
+)
+from ..chain.transaction import Transaction
+from ..datasets.dataset import Dataset
+from ..datasets.records import TxRecord
+from ..mempool.mempool import MempoolEntry
+from ..mempool.snapshots import (
+    MempoolSnapshot,
+    SizeSeries,
+    SnapshotStore,
+    SnapshotTx,
+)
+from ..mining.acceleration import AccelerationService
+from ..mining.pool import MiningPool, make_directory, normalize_hash_shares
+from .rng import RngStreams
+from .workload import PlannedTx
+
+
+@dataclass
+class ObserverConfig:
+    """A measurement node, as the paper ran two of."""
+
+    name: str
+    min_fee_rate: float = 1.0
+    #: Latency advantage from peering widely: the observer's arrival
+    #: delay is the minimum of ``peer_samples`` draws, so the paper's
+    #: 125-peer node (dataset B) sees transactions earlier than the
+    #: default 8-peer node (dataset A).
+    peer_samples: int = 2
+    snapshot_interval: float = SNAPSHOT_INTERVAL
+
+
+@dataclass
+class EngineConfig:
+    """Scenario-level simulation parameters."""
+
+    duration: float
+    block_interval: float = TARGET_BLOCK_INTERVAL
+    max_block_vsize: int = MAX_BLOCK_VSIZE
+    #: Probability a discovered block is mined empty (validation race).
+    empty_block_probability: float = 0.006
+    #: Median one-hop propagation delay to a pool, seconds.
+    pool_delay_median: float = 1.2
+    pool_delay_sigma: float = 0.9
+    #: Probability a pool experiences a pathological (slow) delivery.
+    slow_delivery_probability: float = 0.004
+    slow_delivery_scale: float = 120.0
+    #: How many full mempool snapshots to retain per observer.
+    full_snapshot_count: int = 48
+    mempool_expiry: float = 14 * 24 * 3600.0
+
+
+@dataclass
+class SimulationResult:
+    """Everything a scenario run produces, keyed by observer name."""
+
+    dataset: Dataset
+    datasets_by_observer: dict[str, Dataset] = field(default_factory=dict)
+
+
+def generate_block_schedule(
+    duration: float,
+    block_interval: float,
+    shares: Sequence[float],
+    rng: np.random.Generator,
+) -> list[tuple[float, int]]:
+    """The mining race: (discovery time, winning pool index) pairs.
+
+    Inter-block times are exponential (Poisson mining); each discovery
+    is won by pool i with probability ``shares[i]``.  Exposed as a
+    function so a scenario can draw the schedule *once* and share it
+    between the workload generator (whose fee model reacts to the real
+    backlog, mining luck included) and the engine.
+    """
+    probabilities = np.asarray(shares, dtype=float)
+    schedule: list[tuple[float, int]] = []
+    time = 0.0
+    while True:
+        time += float(rng.exponential(block_interval))
+        if time > duration:
+            break
+        winner = int(rng.choice(probabilities.size, p=probabilities))
+        schedule.append((time, winner))
+    return schedule
+
+
+class SimulationEngine:
+    """Drive one scenario to completion."""
+
+    def __init__(
+        self,
+        config: EngineConfig,
+        pools: Sequence[MiningPool],
+        observers: Sequence[ObserverConfig],
+        streams: RngStreams,
+        services: Sequence[AccelerationService] = (),
+        schedule: Optional[Sequence[tuple[float, int]]] = None,
+    ) -> None:
+        if not pools:
+            raise ValueError("need at least one mining pool")
+        if not observers:
+            raise ValueError("need at least one observer")
+        self.config = config
+        self.pools = list(pools)
+        self.observers = list(observers)
+        self.streams = streams
+        self.services = {service.name: service for service in services}
+        self._shares = np.asarray(normalize_hash_shares(self.pools), dtype=float)
+        self._schedule = list(schedule) if schedule is not None else None
+
+    # ------------------------------------------------------------------
+    # Arrival-time machinery
+    # ------------------------------------------------------------------
+    def _pool_delays(self, count: int) -> np.ndarray:
+        """(count, n_pools) matrix of per-pool propagation delays."""
+        cfg = self.config
+        rng = self.streams.stream("latency/pools")
+        delays = rng.lognormal(
+            mean=np.log(cfg.pool_delay_median),
+            sigma=cfg.pool_delay_sigma,
+            size=(count, len(self.pools)),
+        )
+        slow = rng.random(size=delays.shape) < cfg.slow_delivery_probability
+        if slow.any():
+            delays = delays + slow * rng.exponential(
+                cfg.slow_delivery_scale, size=delays.shape
+            )
+        return delays
+
+    def _observer_delays(self, count: int) -> dict[str, np.ndarray]:
+        """Per-observer arrival delays (min over peer samples)."""
+        cfg = self.config
+        rng = self.streams.stream("latency/observers")
+        delays: dict[str, np.ndarray] = {}
+        for observer in self.observers:
+            samples = max(observer.peer_samples, 1)
+            draws = rng.lognormal(
+                mean=np.log(cfg.pool_delay_median),
+                sigma=cfg.pool_delay_sigma,
+                size=(count, samples),
+            )
+            base = draws.min(axis=1)
+            slow = rng.random(size=count) < cfg.slow_delivery_probability
+            if slow.any():
+                base = base + slow * rng.exponential(cfg.slow_delivery_scale, size=count)
+            delays[observer.name] = base
+        return delays
+
+    # ------------------------------------------------------------------
+    # Mining race
+    # ------------------------------------------------------------------
+    def _block_schedule(self) -> list[tuple[float, int]]:
+        """(time, winning pool index) for every discovery in the run."""
+        if self._schedule is not None:
+            return self._schedule
+        return generate_block_schedule(
+            self.config.duration,
+            self.config.block_interval,
+            self._shares,
+            self.streams.stream("mining"),
+        )
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self, plan: Sequence[PlannedTx]) -> SimulationResult:
+        """Execute the scenario over ``plan`` and curate datasets."""
+        plan = sorted(plan, key=lambda p: (p.broadcast_time, p.tx.txid))
+        count = len(plan)
+        pool_delays = self._pool_delays(count)
+        observer_delays = self._observer_delays(count)
+        broadcast_times = np.asarray([p.broadcast_time for p in plan], dtype=float)
+        pool_arrivals = broadcast_times[:, None] + pool_delays
+
+        schedule = self._block_schedule()
+        mining_rng = self.streams.stream("mining/assembly")
+
+        # Pending pool: index into `plan` for not-yet-committed txs,
+        # plus conflict bookkeeping (outpoint -> pending spender) so
+        # replace-by-fee bumps evict what they displace and stale
+        # replacements of already-committed transactions are dropped.
+        pending: dict[str, int] = {}
+        pending_spenders: dict[object, str] = {}
+        committed_outpoints: set = set()
+        committed: dict[str, tuple[int, int, float]] = {}  # txid -> (height, pos, time)
+        chain = Blockchain()
+        plan_index = 0
+        # In-plan parent -> children, for cascading evictions when a
+        # replaced transaction had dependants.
+        plan_txids = {p.tx.txid for p in plan}
+        plan_children: dict[str, list[str]] = {}
+        for planned in plan:
+            for parent in planned.tx.parent_txids:
+                if parent in plan_txids:
+                    plan_children.setdefault(parent, []).append(planned.tx.txid)
+
+        def evict(txid: str) -> None:
+            """Drop a pending tx and, recursively, its pending children."""
+            index = pending.pop(txid, None)
+            if index is None:
+                return
+            loser_tx = plan[index].tx
+            for txin in loser_tx.inputs:
+                if pending_spenders.get(txin.prevout) == txid:
+                    del pending_spenders[txin.prevout]
+            for child in plan_children.get(txid, ()):
+                evict(child)
+
+        def admit(planned: PlannedTx, index: int) -> None:
+            tx = planned.tx
+            if any(txin.prevout in committed_outpoints for txin in tx.inputs):
+                return  # conflicts with the chain: the original won
+            displaced = {
+                pending_spenders[txin.prevout]
+                for txin in tx.inputs
+                if txin.prevout in pending_spenders
+                and pending_spenders[txin.prevout] != tx.txid
+            }
+            for loser in displaced:
+                loser_tx = plan[pending[loser]].tx
+                if tx.fee <= loser_tx.fee:
+                    return  # not a valid fee bump: keep the incumbent
+            for loser in displaced:
+                evict(loser)
+            pending[tx.txid] = index
+            for txin in tx.inputs:
+                pending_spenders[txin.prevout] = tx.txid
+            if planned.accelerate_via is not None:
+                service = self.services.get(planned.accelerate_via)
+                if service is not None:
+                    service.accelerate(
+                        tx.txid,
+                        public_fee=tx.fee,
+                        now=planned.broadcast_time,
+                    )
+
+        for height, (block_time, winner_index) in enumerate(schedule):
+            # Admit all broadcasts up to this discovery.
+            while plan_index < count and plan[plan_index].broadcast_time <= block_time:
+                admit(plan[plan_index], plan_index)
+                plan_index += 1
+
+            winner = self.pools[winner_index]
+            if mining_rng.random() < self.config.empty_block_probability:
+                entries: list[MempoolEntry] = []
+            else:
+                entries = self._eligible_entries(
+                    pending, plan, pool_arrivals, winner_index, block_time
+                )
+            block = winner.assemble_block(
+                height=height,
+                prev_hash=chain.tip_hash,
+                timestamp=block_time,
+                entries=entries,
+            )
+            chain.append(block)
+            for position, tx in enumerate(block.transactions):
+                committed[tx.txid] = (height, position, block_time)
+                pending.pop(tx.txid, None)
+                for txin in tx.inputs:
+                    committed_outpoints.add(txin.prevout)
+                    if pending_spenders.get(txin.prevout) == tx.txid:
+                        del pending_spenders[txin.prevout]
+
+        return self._curate(
+            plan, broadcast_times, observer_delays, committed, chain
+        )
+
+    def _eligible_entries(
+        self,
+        pending: dict[str, int],
+        plan: Sequence[PlannedTx],
+        pool_arrivals: np.ndarray,
+        pool_index: int,
+        block_time: float,
+    ) -> list[MempoolEntry]:
+        """Pending transactions that reached this pool, parent-closed.
+
+        A transaction is withheld if any parent is still pending but has
+        not reached the pool (or was itself withheld) — including it
+        would commit a child before its parent exists on-chain.
+        """
+        candidates: dict[str, tuple[Transaction, float]] = {}
+        for txid, index in pending.items():
+            arrival = float(pool_arrivals[index, pool_index])
+            if arrival <= block_time:
+                candidates[txid] = (plan[index].tx, arrival)
+
+        pending_set = set(pending)
+        eligible: dict[str, MempoolEntry] = {}
+        # Iterate to a fixpoint: removing a parent can orphan its child.
+        changed = True
+        selected = dict(candidates)
+        while changed:
+            changed = False
+            for txid in list(selected):
+                tx, _ = selected[txid]
+                for parent in tx.parent_txids:
+                    if parent in pending_set and parent not in selected:
+                        del selected[txid]
+                        changed = True
+                        break
+        for txid, (tx, arrival) in selected.items():
+            eligible[txid] = MempoolEntry(tx=tx, arrival_time=arrival)
+        return list(eligible.values())
+
+    # ------------------------------------------------------------------
+    # Dataset curation
+    # ------------------------------------------------------------------
+    def _curate(
+        self,
+        plan: Sequence[PlannedTx],
+        broadcast_times: np.ndarray,
+        observer_delays: dict[str, np.ndarray],
+        committed: dict[str, tuple[int, int, float]],
+        chain: Blockchain,
+    ) -> SimulationResult:
+        directory = make_directory(self.pools)
+        attributor = PoolAttributor(directory)
+        block_pools = {
+            block.height: attributor.attribute(block) for block in chain
+        }
+        pool_wallets = {
+            pool.name: pool.wallet_addresses for pool in self.pools
+        }
+
+        datasets: dict[str, Dataset] = {}
+        for observer in self.observers:
+            dataset = self._curate_observer(
+                observer,
+                plan,
+                broadcast_times,
+                observer_delays[observer.name],
+                committed,
+                chain,
+                block_pools,
+                pool_wallets,
+            )
+            datasets[observer.name] = dataset
+        primary = datasets[self.observers[0].name]
+        return SimulationResult(dataset=primary, datasets_by_observer=datasets)
+
+    def _curate_observer(
+        self,
+        observer: ObserverConfig,
+        plan: Sequence[PlannedTx],
+        broadcast_times: np.ndarray,
+        delays: np.ndarray,
+        committed: dict[str, tuple[int, int, float]],
+        chain: Blockchain,
+        block_pools: dict[int, str],
+        pool_wallets: dict[str, frozenset[str]],
+    ) -> Dataset:
+        cfg = self.config
+        arrival_times = broadcast_times + delays
+        block_delay_rng = self.streams.fresh(f"latency/blocks/{observer.name}")
+
+        tx_records: dict[str, TxRecord] = {}
+        add_events: list[tuple[float, int]] = []  # (time, plan index)
+        remove_events: list[tuple[float, int]] = []
+        for index, planned in enumerate(plan):
+            tx = planned.tx
+            commit = committed.get(tx.txid)
+            accepted = tx.fee_rate >= observer.min_fee_rate
+            observer_arrival = float(arrival_times[index]) if accepted else None
+            commit_height = commit[0] if commit else None
+            commit_position = commit[1] if commit else None
+            tx_records[tx.txid] = TxRecord(
+                txid=tx.txid,
+                broadcast_time=float(broadcast_times[index]),
+                observer_arrival=observer_arrival,
+                fee=tx.fee,
+                vsize=tx.vsize,
+                commit_height=commit_height,
+                commit_position=commit_position,
+                labels=planned.labels,
+            )
+            if observer_arrival is None or observer_arrival > cfg.duration:
+                continue
+            add_events.append((observer_arrival, index))
+            if commit is not None:
+                removal = commit[2] + float(
+                    block_delay_rng.lognormal(np.log(0.4), 0.5)
+                )
+                removal = max(removal, observer_arrival)
+            else:
+                removal = observer_arrival + cfg.mempool_expiry
+            remove_events.append((removal, index))
+
+        size_series, snapshots = self._reconstruct_mempool(
+            observer, plan, add_events, remove_events, arrival_times
+        )
+        return Dataset(
+            name=observer.name,
+            chain=chain,
+            snapshots=snapshots,
+            tx_records=tx_records,
+            block_pools=block_pools,
+            pool_wallets=pool_wallets,
+            size_series=size_series,
+            metadata={
+                "observer": observer.name,
+                "min_fee_rate": observer.min_fee_rate,
+                "duration": cfg.duration,
+            },
+        )
+
+    def _reconstruct_mempool(
+        self,
+        observer: ObserverConfig,
+        plan: Sequence[PlannedTx],
+        add_events: list[tuple[float, int]],
+        remove_events: list[tuple[float, int]],
+        arrival_times: np.ndarray,
+    ) -> tuple[SizeSeries, SnapshotStore]:
+        """Sweep add/remove events into per-tick sizes + sampled snapshots."""
+        cfg = self.config
+        add_events.sort()
+        remove_events.sort()
+        tick_times = np.arange(0.0, cfg.duration, observer.snapshot_interval)
+        sample_rng = self.streams.fresh(f"snapshots/{observer.name}")
+        sample_count = min(cfg.full_snapshot_count, tick_times.size)
+        sampled_ticks = set(
+            int(i)
+            for i in sample_rng.choice(
+                tick_times.size, size=sample_count, replace=False
+            )
+        ) if sample_count else set()
+
+        live: set[int] = set()
+        sizes: list[int] = []
+        counts: list[int] = []
+        total_vsize = 0
+        snapshots: list[MempoolSnapshot] = []
+        add_ptr = 0
+        remove_ptr = 0
+        for tick_index, tick in enumerate(tick_times):
+            while add_ptr < len(add_events) and add_events[add_ptr][0] <= tick:
+                index = add_events[add_ptr][1]
+                live.add(index)
+                total_vsize += plan[index].tx.vsize
+                add_ptr += 1
+            while remove_ptr < len(remove_events) and remove_events[remove_ptr][0] <= tick:
+                index = remove_events[remove_ptr][1]
+                if index in live:
+                    live.remove(index)
+                    total_vsize -= plan[index].tx.vsize
+                remove_ptr += 1
+            sizes.append(total_vsize)
+            counts.append(len(live))
+            if tick_index in sampled_ticks:
+                txs = tuple(
+                    SnapshotTx(
+                        txid=plan[index].tx.txid,
+                        arrival_time=float(arrival_times[index]),
+                        fee=plan[index].tx.fee,
+                        vsize=plan[index].tx.vsize,
+                    )
+                    for index in sorted(live)
+                )
+                snapshots.append(MempoolSnapshot(time=float(tick), txs=txs))
+        series = SizeSeries(times=list(tick_times), vsizes=sizes, tx_counts=counts)
+        return series, SnapshotStore(snapshots)
+
+
+def run_scenario(
+    config: EngineConfig,
+    pools: Sequence[MiningPool],
+    observers: Sequence[ObserverConfig],
+    plan: Sequence[PlannedTx],
+    streams: RngStreams,
+    services: Sequence[AccelerationService] = (),
+) -> SimulationResult:
+    """One-call convenience wrapper around :class:`SimulationEngine`."""
+    engine = SimulationEngine(
+        config=config,
+        pools=pools,
+        observers=observers,
+        streams=streams,
+        services=services,
+    )
+    return engine.run(plan)

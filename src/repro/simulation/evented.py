@@ -1,0 +1,195 @@
+"""The evented simulation path: scenarios over the real P2P substrate.
+
+:class:`~repro.simulation.engine.SimulationEngine` is a vectorised fast
+path; this module is the *reference* path.  Every transaction floods an
+actual peer graph hop by hop; every pool mines from the mempool of its
+own :class:`~repro.network.node.FullNode`; observers record genuine
+15-second snapshots.  It is O(transactions x edges) and therefore only
+suitable for modest scenarios — which is exactly its job: the
+integration suite runs both paths over comparable workloads and checks
+that the audit-relevant observables (delays, violations, ordering
+conformance) agree, validating the fast path's shortcuts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..chain.attribution import PoolAttributor
+from ..chain.blockchain import Blockchain
+from ..chain.constants import TARGET_BLOCK_INTERVAL
+from ..datasets.dataset import Dataset
+from ..datasets.records import TxRecord
+from ..mempool.snapshots import SizeSeries
+from ..mining.pool import MiningPool, make_directory, normalize_hash_shares
+from ..network.events import EventScheduler
+from ..network.latency import LatencyModel
+from ..network.node import FullNode, NodeConfig, make_observer
+from ..network.p2p import P2PNetwork, build_network
+from .engine import generate_block_schedule
+from .rng import RngStreams
+from .workload import PlannedTx
+
+
+@dataclass
+class EventedConfig:
+    """Parameters of an evented run."""
+
+    duration: float
+    block_interval: float = TARGET_BLOCK_INTERVAL
+    relay_count: int = 8
+    target_degree: int = 6
+    observer_min_fee_rate: float = 0.0
+    snapshot_interval: float = 15.0
+
+
+class EventedSimulation:
+    """Run a (small) transaction plan over the evented P2P network."""
+
+    def __init__(
+        self,
+        config: EventedConfig,
+        pools: Sequence[MiningPool],
+        streams: RngStreams,
+        tx_latency: Optional[LatencyModel] = None,
+    ) -> None:
+        if not pools:
+            raise ValueError("need at least one mining pool")
+        self.config = config
+        self.pools = list(pools)
+        self.streams = streams
+        rng = streams.stream("evented/topology")
+        self.observer = make_observer(
+            "observer",
+            min_fee_rate=config.observer_min_fee_rate,
+            snapshot_interval=config.snapshot_interval,
+        )
+        self.pool_nodes: dict[str, FullNode] = {
+            pool.name: FullNode(
+                NodeConfig(name=f"pool/{pool.name}", min_fee_rate=0.0)
+            )
+            for pool in self.pools
+        }
+        self.relays = [
+            FullNode(NodeConfig(name=f"relay-{i}"))
+            for i in range(config.relay_count)
+        ]
+        self.network: P2PNetwork = build_network(
+            [self.observer, *self.pool_nodes.values(), *self.relays],
+            rng,
+            target_degree=config.target_degree,
+            tx_latency=tx_latency,
+        )
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        plan: Sequence[PlannedTx],
+        schedule: Optional[Sequence[tuple[float, int]]] = None,
+    ) -> Dataset:
+        """Play the plan out over the network; curate a Dataset.
+
+        Pass ``schedule`` to pin the mining race (times and winners) —
+        the cross-validation suite runs both simulation paths over one
+        schedule so differences reflect propagation modelling only.
+        """
+        scheduler = EventScheduler()
+        inject_rng = self.streams.stream("evented/injection")
+        self.network.schedule_snapshots(scheduler, end_time=self.config.duration)
+
+        for planned in sorted(plan, key=lambda p: p.broadcast_time):
+            origin = self.relays[
+                int(inject_rng.integers(len(self.relays)))
+            ]
+
+            def inject(s: EventScheduler, tx=planned.tx, origin=origin) -> None:
+                self.network.broadcast_transaction(tx, origin, s)
+
+            scheduler.schedule(planned.broadcast_time, inject)
+
+        chain = Blockchain()
+        if schedule is None:
+            schedule = generate_block_schedule(
+                self.config.duration,
+                self.config.block_interval,
+                normalize_hash_shares(self.pools),
+                self.streams.stream("evented/mining"),
+            )
+        for height, (block_time, winner_index) in enumerate(schedule):
+            winner = self.pools[winner_index]
+            node = self.pool_nodes[winner.name]
+
+            def mine(
+                s: EventScheduler,
+                height=height,
+                winner=winner,
+                node=node,
+            ) -> None:
+                block = winner.assemble_block(
+                    height=height,
+                    prev_hash=chain.tip_hash,
+                    timestamp=s.now,
+                    entries=node.mempool.entries(),
+                )
+                chain.append(block)
+                self.network.broadcast_block(block, node, s)
+
+            scheduler.schedule(block_time, mine)
+
+        scheduler.run_until(self.config.duration)
+        return self._curate(plan, chain)
+
+    # ------------------------------------------------------------------
+    def _curate(self, plan: Sequence[PlannedTx], chain: Blockchain) -> Dataset:
+        directory = make_directory(self.pools)
+        attributor = PoolAttributor(directory)
+        block_pools = {
+            block.height: attributor.attribute(block) for block in chain
+        }
+        records: dict[str, TxRecord] = {}
+        for planned in plan:
+            tx = planned.tx
+            location = chain.location_of(tx.txid)
+            records[tx.txid] = TxRecord(
+                txid=tx.txid,
+                broadcast_time=planned.broadcast_time,
+                observer_arrival=self.observer.arrival_log.get(tx.txid),
+                fee=tx.fee,
+                vsize=tx.vsize,
+                commit_height=location.height if location else None,
+                commit_position=location.position if location else None,
+                labels=planned.labels,
+            )
+        store = self.observer.snapshot_store()
+        size_series = SizeSeries(
+            times=store.times,
+            vsizes=store.sizes(),
+            tx_counts=[snapshot.tx_count for snapshot in store],
+        )
+        return Dataset(
+            name="evented",
+            chain=chain,
+            snapshots=store,
+            tx_records=records,
+            block_pools=block_pools,
+            pool_wallets={pool.name: pool.wallet_addresses for pool in self.pools},
+            size_series=size_series,
+            metadata={"path": "evented", "duration": self.config.duration},
+        )
+
+
+def run_evented_scenario(
+    plan: Sequence[PlannedTx],
+    pools: Sequence[MiningPool],
+    duration: float,
+    seed: int = 31,
+    block_interval: float = TARGET_BLOCK_INTERVAL,
+) -> Dataset:
+    """One-call evented run over a prepared plan."""
+    simulation = EventedSimulation(
+        EventedConfig(duration=duration, block_interval=block_interval),
+        pools,
+        RngStreams(seed),
+    )
+    return simulation.run(plan)

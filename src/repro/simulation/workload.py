@@ -1,0 +1,538 @@
+"""Transaction workload generation.
+
+The workload produces the stream of user transactions a scenario feeds
+into the network: ordinary payments whose arrival intensity waxes and
+wanes (creating the congestion regimes of Fig 3), CPFP chains, low- and
+zero-fee stragglers, plus the three specially labelled populations the
+paper investigates — self-interest transfers touching pool wallets,
+scam payments to a flagged wallet, and dark-fee transactions whose
+owners purchase off-chain acceleration.
+
+Fee-rates respond to demand: the generator scales its fee draws by the
+current demand-to-capacity ratio, modelling users (and their wallets'
+fee estimators) bidding up during congestion — which is what makes the
+Fig 4c ordering emerge rather than being painted on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..chain.address import AddressFactory
+from ..chain.transaction import Transaction, TransactionBuilder
+from ..datasets.records import (
+    LABEL_ACCELERATED,
+    LABEL_LOW_FEE,
+    LABEL_RBF_BUMP,
+    LABEL_RBF_ORIGINAL,
+    LABEL_SCAM,
+    LABEL_SELF_INTEREST,
+    LABEL_ZERO_FEE,
+    make_label,
+)
+from .rng import RngStreams
+
+
+@dataclass(frozen=True)
+class PlannedTx:
+    """One transaction scheduled for broadcast."""
+
+    broadcast_time: float
+    tx: Transaction
+    labels: frozenset[str] = frozenset()
+    accelerate_via: Optional[str] = None
+
+
+@dataclass
+class DemandModel:
+    """Piecewise-constant arrival intensity with diurnal and AR(1) waves.
+
+    ``base_rate`` is expressed relative to block capacity: 1.0 means
+    arrivals exactly fill blocks on average.  The AR(1) multiplier adds
+    multi-hour congestion episodes; the sinusoid adds a diurnal cycle.
+    """
+
+    base_ratio: float = 1.05
+    diurnal_amplitude: float = 0.25
+    ar_coefficient: float = 0.97
+    ar_sigma: float = 0.08
+    bin_seconds: float = 600.0
+    min_ratio: float = 0.3
+    max_ratio: float = 3.0
+
+    def intensity_series(
+        self, duration: float, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(bin start times, demand ratio per bin) covering ``duration``."""
+        bins = int(np.ceil(duration / self.bin_seconds))
+        starts = np.arange(bins) * self.bin_seconds
+        wave = np.empty(bins)
+        level = 0.0
+        for index in range(bins):
+            level = self.ar_coefficient * level + rng.normal(0.0, self.ar_sigma)
+            wave[index] = level
+        diurnal = self.diurnal_amplitude * np.sin(
+            2.0 * np.pi * starts / 86_400.0
+        )
+        # De-bias the log-normal AR multiplier so its long-run mean is 1:
+        # otherwise demand would systematically exceed base_ratio and the
+        # backlog would grow without bound over long scenarios.
+        stationary_var = self.ar_sigma**2 / max(1.0 - self.ar_coefficient**2, 1e-9)
+        ratio = (
+            self.base_ratio
+            * np.exp(wave - stationary_var / 2.0)
+            * (1.0 + diurnal)
+        )
+        return starts, np.clip(ratio, self.min_ratio, self.max_ratio)
+
+
+@dataclass
+class FeeModel:
+    """Log-normal fee-rates scaled by congestion pressure.
+
+    Users (via their wallets' fee estimators) react to the *backlog*
+    they observe, not to the instantaneous arrival rate — so the
+    pressure variable is a backlog measure in block-equivalents, which
+    lags demand exactly the way real mempool congestion does.  This is
+    what makes the Fig 4c/11 ordering (higher congestion bin ⇒ higher
+    fees) emerge.
+    """
+
+    median_sat_vb: float = 25.0
+    sigma: float = 1.1
+    #: How aggressively urgency-sensitive users bid as the backlog deepens.
+    backlog_exponent: float = 0.9
+    #: Share of users who do NOT react to congestion (non-urgent
+    #: payments, batch sweeps, naive wallets).  Their low-fee
+    #: transactions issued during congestion are precisely the ones
+    #: that wait many blocks — the population behind Fig 5's "low fee
+    #: ⇒ long delay" tail.
+    insensitive_fraction: float = 0.35
+    min_sat_vb: float = 1.0
+    max_sat_vb: float = 120_000.0
+
+    def draw(
+        self, count: int, backlog_blocks: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Draw fee-rates given the backlog (in block-equivalents)."""
+        base = rng.lognormal(
+            mean=np.log(self.median_sat_vb), sigma=self.sigma, size=count
+        )
+        pressure = np.power(
+            1.0 + np.maximum(backlog_blocks, 0.0), self.backlog_exponent
+        )
+        insensitive = rng.random(count) < self.insensitive_fraction
+        pressure = np.where(insensitive, 1.0, pressure)
+        return np.clip(base * pressure, self.min_sat_vb, self.max_sat_vb)
+
+
+def backlog_proxy(
+    ratios: np.ndarray,
+    bin_seconds: float,
+    block_interval: float = 600.0,
+    block_times: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Queueing proxy: backlog in block-equivalents per demand bin.
+
+    Integrates demand inflow against capacity with a floor at zero — a
+    fluid approximation of the mempool the engine will produce.  When
+    the actual ``block_times`` are supplied (the scenario draws the
+    mining race up front), capacity is consumed at the real discovery
+    instants, so the proxy also reflects *mining luck*: a 40-minute
+    block builds a backlog users react to even when demand is flat,
+    exactly as real fee estimators do.
+    """
+    backlog = np.empty_like(ratios)
+    level = 0.0
+    if block_times is None:
+        bins_per_block = bin_seconds / block_interval
+        for index, ratio in enumerate(ratios):
+            level = max(0.0, level + (float(ratio) - 1.0) * bins_per_block)
+            backlog[index] = level
+        return backlog
+    times = np.sort(np.asarray(block_times, dtype=float))
+    block_ptr = 0
+    for index, ratio in enumerate(ratios):
+        end = (index + 1) * bin_seconds
+        level += float(ratio) * bin_seconds / block_interval
+        while block_ptr < times.size and times[block_ptr] <= end:
+            level = max(0.0, level - 1.0)
+            block_ptr += 1
+        backlog[index] = level
+    return backlog
+
+
+@dataclass
+class SizeModel:
+    """Log-normal virtual sizes with a hard floor."""
+
+    median_vsize: float = 5000.0
+    sigma: float = 0.6
+    min_vsize: int = 110
+    max_vsize: int = 90_000
+
+    def draw(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        sizes = rng.lognormal(mean=np.log(self.median_vsize), sigma=self.sigma, size=count)
+        return np.clip(sizes, self.min_vsize, self.max_vsize).astype(np.int64)
+
+
+@dataclass
+class InjectionConfig:
+    """Rates of the specially labelled populations."""
+
+    #: Per-pool self-interest transactions (keyed by pool name).
+    self_interest_counts: dict[str, int] = field(default_factory=dict)
+    #: Fee-rate (sat/vB) of self-interest transactions — deliberately
+    #: modest so honest miners deprioritise them.
+    self_interest_fee_rate: float = 3.0
+    #: Scam payments, all to one wallet, within a time window.
+    scam_count: int = 0
+    scam_window: tuple[float, float] = (0.0, 0.0)
+    #: Dark-fee transactions per acceleration service.
+    accelerated_counts: dict[str, int] = field(default_factory=dict)
+    accelerated_fee_rate: float = 2.0
+    #: Stragglers below the default relay threshold (norm III probes).
+    low_fee_count: int = 0
+    zero_fee_count: int = 0
+    #: Fraction of ordinary transactions that spawn a chained child
+    #: spending their output (exchange sweeps, change respends, ...).
+    cpfp_child_fraction: float = 0.28
+    #: Share of those chains that are low-fee *rescues* — a stuck cheap
+    #: parent pulled in by a deliberately overpaying child.  Most real
+    #: chains are ordinary respends at market fee levels, which is why
+    #: the paper's PPE stays low even though ~20-26% of transactions
+    #: are CPFP children.
+    cpfp_rescue_fraction: float = 0.06
+    #: Probability that a stuck low-fee transaction's owner publicly
+    #: fee-bumps it via replace-by-fee (the transparent alternative to
+    #: dark-fee acceleration).
+    rbf_bump_fraction: float = 0.0
+    #: Fee multiple the bump pays relative to the original.
+    rbf_bump_multiple: float = 12.0
+
+
+@dataclass
+class WorkloadConfig:
+    """Everything needed to generate a scenario's transaction stream."""
+
+    duration: float
+    capacity_vsize_per_second: float
+    demand: DemandModel = field(default_factory=DemandModel)
+    fees: FeeModel = field(default_factory=FeeModel)
+    sizes: SizeModel = field(default_factory=SizeModel)
+    injections: InjectionConfig = field(default_factory=InjectionConfig)
+    pool_wallets: dict[str, Sequence[str]] = field(default_factory=dict)
+    #: Actual block discovery times, when the scenario pre-draws the
+    #: mining race; lets the fee model react to mining luck.
+    block_times: Optional[np.ndarray] = None
+    block_interval: float = 600.0
+
+
+class WorkloadGenerator:
+    """Generate the full, time-sorted transaction plan for a scenario."""
+
+    def __init__(self, config: WorkloadConfig, streams: RngStreams) -> None:
+        self.config = config
+        self.streams = streams
+        self._builder = TransactionBuilder(namespace=f"wl/{streams.root_seed}")
+        self._addresses = AddressFactory(namespace=f"users/{streams.root_seed}")
+        self._nonce = 0
+
+    def _next_nonce(self) -> int:
+        self._nonce += 1
+        return self._nonce
+
+    # ------------------------------------------------------------------
+    # Ordinary traffic
+    # ------------------------------------------------------------------
+    def _ordinary_arrivals(self) -> tuple[np.ndarray, np.ndarray]:
+        """Arrival times and the backlog proxy in effect at each arrival."""
+        cfg = self.config
+        rng = self.streams.stream("demand")
+        starts, ratios = cfg.demand.intensity_series(cfg.duration, rng)
+        backlogs = backlog_proxy(
+            ratios,
+            cfg.demand.bin_seconds,
+            block_interval=cfg.block_interval,
+            block_times=cfg.block_times,
+        )
+        mean_vsize = float(cfg.sizes.median_vsize * np.exp(cfg.sizes.sigma**2 / 2.0))
+        # Spawned CPFP children add vsize beyond the ordinary stream;
+        # fold their expected overhead into the rate so that a demand
+        # ratio of 1.0 really means "arrivals fill capacity exactly".
+        injections = cfg.injections
+        child_share = injections.cpfp_child_fraction * (
+            (1.0 - injections.cpfp_rescue_fraction) * 0.5
+            + injections.cpfp_rescue_fraction / 3.0
+        )
+        tx_rate_per_second = cfg.capacity_vsize_per_second / (
+            mean_vsize * (1.0 + child_share)
+        )
+        arrival_rng = self.streams.stream("arrivals")
+        times: list[np.ndarray] = []
+        backlog_at: list[np.ndarray] = []
+        for start, ratio, backlog in zip(starts, ratios, backlogs):
+            expected = ratio * tx_rate_per_second * cfg.demand.bin_seconds
+            count = int(arrival_rng.poisson(expected))
+            if count == 0:
+                continue
+            bin_times = start + arrival_rng.uniform(
+                0.0, cfg.demand.bin_seconds, size=count
+            )
+            times.append(np.sort(bin_times))
+            backlog_at.append(np.full(count, backlog))
+        if not times:
+            return np.empty(0), np.empty(0)
+        all_times = np.concatenate(times)
+        all_backlogs = np.concatenate(backlog_at)
+        order = np.argsort(all_times, kind="stable")
+        return all_times[order], all_backlogs[order]
+
+    def _ordinary_txs(self) -> list[PlannedTx]:
+        cfg = self.config
+        times, backlogs = self._ordinary_arrivals()
+        count = times.size
+        if count == 0:
+            return []
+        fee_rng = self.streams.stream("fees")
+        size_rng = self.streams.stream("sizes")
+        cpfp_rng = self.streams.stream("cpfp")
+        rates = cfg.fees.draw(count, backlogs, fee_rng)
+        sizes = cfg.sizes.draw(count, size_rng)
+        fees = np.maximum((rates * sizes).astype(np.int64), 1)
+        values = np.maximum(
+            size_rng.lognormal(mean=np.log(5e6), sigma=1.5, size=count), 1000
+        ).astype(np.int64)
+
+        planned: list[PlannedTx] = []
+        # Rolling pools of candidate parents: any recent transaction for
+        # ordinary chaining, low-fee ones for deliberate rescues.
+        recent_parents: list[tuple[float, Transaction, float]] = []
+        stuck_parents: list[tuple[float, Transaction]] = []
+        injections = cfg.injections
+        for index in range(count):
+            time = float(times[index])
+            rate = float(rates[index])
+            tx = self._builder.build(
+                to_address=self._addresses.next(),
+                value=int(values[index]),
+                fee=int(fees[index]),
+                vsize=int(sizes[index]),
+                nonce=self._next_nonce(),
+            )
+            planned.append(PlannedTx(broadcast_time=time, tx=tx))
+            recent_parents.append((time, tx, rate))
+            if len(recent_parents) > 300:
+                recent_parents.pop(0)
+            if rate < 8.0:
+                stuck_parents.append((time, tx))
+                if len(stuck_parents) > 200:
+                    stuck_parents.pop(0)
+                # Public fee acceleration: the owner replaces the stuck
+                # transaction with a higher-fee conflicting version.
+                if (
+                    injections.rbf_bump_fraction > 0.0
+                    and cpfp_rng.random() < injections.rbf_bump_fraction
+                ):
+                    planned[-1] = PlannedTx(
+                        broadcast_time=time,
+                        tx=tx,
+                        labels=planned[-1].labels | {LABEL_RBF_ORIGINAL},
+                    )
+                    bump_fee = max(
+                        int(tx.fee * injections.rbf_bump_multiple), tx.fee + 1
+                    )
+                    bump = self._builder.replacement(
+                        tx, fee=bump_fee, nonce=self._next_nonce()
+                    )
+                    delay = float(cpfp_rng.uniform(300.0, 1500.0))
+                    planned.append(
+                        PlannedTx(
+                            broadcast_time=time + delay,
+                            tx=bump,
+                            labels=frozenset({LABEL_RBF_BUMP}),
+                        )
+                    )
+                    # A replaced parent must not anchor CPFP chains.
+                    stuck_parents.pop()
+                    continue
+            if cpfp_rng.random() >= injections.cpfp_child_fraction:
+                continue
+            rescue = (
+                stuck_parents
+                and cpfp_rng.random() < injections.cpfp_rescue_fraction
+            )
+            if rescue:
+                # A stuck cheap parent pulled in by an overpaying child.
+                parent_time, parent = stuck_parents.pop(
+                    int(cpfp_rng.integers(len(stuck_parents)))
+                )
+                child_vsize = int(max(cfg.sizes.min_vsize, sizes[index] // 3))
+                child_rate = max(rate * 3.0, 40.0)
+                delay = float(cpfp_rng.uniform(5.0, 900.0))
+            else:
+                # An ordinary respend: child pays market fees like its
+                # parent, so neither sits far from its predicted slot.
+                parent_time, parent, parent_rate = recent_parents[
+                    int(cpfp_rng.integers(len(recent_parents)))
+                ]
+                child_vsize = int(
+                    max(cfg.sizes.min_vsize, sizes[index] // 2)
+                )
+                child_rate = max(
+                    parent_rate * float(cpfp_rng.uniform(0.8, 1.3)), 1.0
+                )
+                delay = float(cpfp_rng.uniform(1.0, 300.0))
+            child = self._builder.build(
+                to_address=self._addresses.next(),
+                value=max(int(values[index]) // 2, 1000),
+                fee=max(int(child_rate * child_vsize), 1),
+                vsize=child_vsize,
+                extra_parents=[parent.txid],
+                nonce=self._next_nonce(),
+            )
+            planned.append(PlannedTx(broadcast_time=parent_time + delay, tx=child))
+        return planned
+
+    # ------------------------------------------------------------------
+    # Labelled populations
+    # ------------------------------------------------------------------
+    def _uniform_times(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        return np.sort(rng.uniform(0.0, self.config.duration, size=count))
+
+    def _self_interest_txs(self) -> list[PlannedTx]:
+        cfg = self.config
+        rng = self.streams.stream("self-interest")
+        planned: list[PlannedTx] = []
+        for pool, count in cfg.injections.self_interest_counts.items():
+            wallets = list(cfg.pool_wallets.get(pool, ()))
+            if not wallets or count <= 0:
+                continue
+            times = self._uniform_times(count, rng)
+            for time in times:
+                wallet = wallets[int(rng.integers(len(wallets)))]
+                vsize = int(rng.integers(200, 800))
+                fee = max(int(cfg.injections.self_interest_fee_rate * vsize), 1)
+                tx = self._builder.build(
+                    to_address=wallet,
+                    value=int(rng.integers(10**6, 10**9)),
+                    fee=fee,
+                    vsize=vsize,
+                    nonce=self._next_nonce(),
+                )
+                planned.append(
+                    PlannedTx(
+                        broadcast_time=float(time),
+                        tx=tx,
+                        labels=frozenset({make_label(LABEL_SELF_INTEREST, pool)}),
+                    )
+                )
+        return planned
+
+    def _scam_txs(self) -> list[PlannedTx]:
+        cfg = self.config
+        if cfg.injections.scam_count <= 0:
+            return []
+        rng = self.streams.stream("scam")
+        start, end = cfg.injections.scam_window
+        if end <= start:
+            start, end = 0.0, cfg.duration
+        scam_wallet = AddressFactory("scam-wallet").next()
+        times = np.sort(rng.uniform(start, end, size=cfg.injections.scam_count))
+        planned = []
+        for time in times:
+            vsize = int(rng.integers(150, 500))
+            # Victims pay ordinary market fees — nothing distinguishes
+            # scam payments except the destination wallet.
+            rate = float(rng.lognormal(np.log(30.0), 0.8))
+            tx = self._builder.build(
+                to_address=scam_wallet,
+                value=int(rng.integers(10**5, 10**8)),
+                fee=max(int(rate * vsize), 1),
+                vsize=vsize,
+                nonce=self._next_nonce(),
+            )
+            planned.append(
+                PlannedTx(
+                    broadcast_time=float(time),
+                    tx=tx,
+                    labels=frozenset({LABEL_SCAM}),
+                )
+            )
+        return planned
+
+    def _accelerated_txs(self) -> list[PlannedTx]:
+        cfg = self.config
+        rng = self.streams.stream("accelerated")
+        planned: list[PlannedTx] = []
+        for service, count in cfg.injections.accelerated_counts.items():
+            if count <= 0:
+                continue
+            times = self._uniform_times(count, rng)
+            for time in times:
+                vsize = int(rng.integers(200, 2000))
+                fee = max(int(cfg.injections.accelerated_fee_rate * vsize), 1)
+                tx = self._builder.build(
+                    to_address=self._addresses.next(),
+                    value=int(rng.integers(10**6, 10**10)),
+                    fee=fee,
+                    vsize=vsize,
+                    nonce=self._next_nonce(),
+                )
+                planned.append(
+                    PlannedTx(
+                        broadcast_time=float(time),
+                        tx=tx,
+                        labels=frozenset({make_label(LABEL_ACCELERATED, service)}),
+                        accelerate_via=service,
+                    )
+                )
+        return planned
+
+    def _threshold_probe_txs(self) -> list[PlannedTx]:
+        """Low- and zero-fee transactions probing norm III."""
+        cfg = self.config
+        rng = self.streams.stream("low-fee")
+        planned: list[PlannedTx] = []
+        for count, zero in (
+            (cfg.injections.low_fee_count, False),
+            (cfg.injections.zero_fee_count, True),
+        ):
+            if count <= 0:
+                continue
+            times = self._uniform_times(count, rng)
+            for time in times:
+                vsize = int(rng.integers(150, 600))
+                fee = 0 if zero else int(rng.uniform(0.1, 0.9) * vsize)
+                label = LABEL_ZERO_FEE if zero else LABEL_LOW_FEE
+                tx = self._builder.build(
+                    to_address=self._addresses.next(),
+                    value=int(rng.integers(10**4, 10**7)),
+                    fee=fee,
+                    vsize=vsize,
+                    nonce=self._next_nonce(),
+                )
+                planned.append(
+                    PlannedTx(
+                        broadcast_time=float(time),
+                        tx=tx,
+                        labels=frozenset({label}),
+                    )
+                )
+        return planned
+
+    # ------------------------------------------------------------------
+    # Assembly
+    # ------------------------------------------------------------------
+    def generate(self) -> list[PlannedTx]:
+        """The full plan, sorted by broadcast time."""
+        planned = self._ordinary_txs()
+        planned.extend(self._self_interest_txs())
+        planned.extend(self._scam_txs())
+        planned.extend(self._accelerated_txs())
+        planned.extend(self._threshold_probe_txs())
+        planned.sort(key=lambda p: (p.broadcast_time, p.tx.txid))
+        return planned

@@ -1,0 +1,107 @@
+"""Shared fixtures: tiny chains, blocks, and scaled-down scenario datasets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.block import GENESIS_HASH, Block, build_block
+from repro.chain.transaction import (
+    CoinbaseTransaction,
+    Transaction,
+    TransactionBuilder,
+    TxOutput,
+    make_coinbase,
+)
+from repro.datasets.builder import (
+    build_dataset_a,
+    build_dataset_b,
+    build_dataset_c,
+)
+from repro.mempool.mempool import MempoolEntry
+
+
+class TxFactory:
+    """Deterministic transaction factory for unit tests."""
+
+    def __init__(self, namespace: str = "test") -> None:
+        self._builder = TransactionBuilder(namespace=namespace)
+        self._counter = 0
+
+    def tx(
+        self,
+        fee: int = 1000,
+        vsize: int = 250,
+        to_address: str = "addr-x",
+        parents: tuple[str, ...] = (),
+        value: int = 100_000,
+        nonce: int = 0,
+    ) -> Transaction:
+        self._counter += 1
+        return self._builder.build(
+            to_address=to_address,
+            value=value,
+            fee=fee,
+            vsize=vsize,
+            extra_parents=list(parents),
+            nonce=nonce * 1_000_003 + self._counter,
+        )
+
+    def entry(
+        self,
+        fee: int = 1000,
+        vsize: int = 250,
+        arrival: float = 0.0,
+        **kwargs,
+    ) -> MempoolEntry:
+        return MempoolEntry(tx=self.tx(fee=fee, vsize=vsize, **kwargs), arrival_time=arrival)
+
+
+@pytest.fixture
+def txf() -> TxFactory:
+    return TxFactory()
+
+
+def make_test_block(
+    transactions,
+    height: int = 0,
+    prev_hash: str = GENESIS_HASH,
+    timestamp: float = 0.0,
+    marker: str = "/TestPool/",
+) -> Block:
+    """Assemble a block around pre-built transactions."""
+    coinbase = make_coinbase(
+        reward_address="pool-reward",
+        value=50 * 100_000_000,
+        marker=marker,
+        height=height,
+    )
+    return build_block(
+        height=height,
+        prev_hash=prev_hash,
+        timestamp=timestamp,
+        coinbase=coinbase,
+        transactions=list(transactions),
+    )
+
+
+@pytest.fixture
+def block_factory():
+    return make_test_block
+
+
+# ----------------------------------------------------------------------
+# Scaled-down scenario datasets, built once per test session.
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="session")
+def small_dataset_a():
+    return build_dataset_a(scale=0.06)
+
+
+@pytest.fixture(scope="session")
+def small_dataset_b():
+    return build_dataset_b(scale=0.06)
+
+
+@pytest.fixture(scope="session")
+def small_dataset_c():
+    return build_dataset_c(scale=0.08)

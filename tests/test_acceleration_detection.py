@@ -1,0 +1,110 @@
+"""Unit tests for the dark-fee (SPPE-threshold) detector."""
+
+import numpy as np
+import pytest
+
+from repro.core.acceleration import (
+    TABLE4_THRESHOLDS,
+    candidate_txids,
+    detection_sweep,
+    score_detector,
+)
+
+from conftest import TxFactory, make_test_block
+
+
+@pytest.fixture
+def txf():
+    return TxFactory("darkfee")
+
+
+def boosted_block(txf, height=0, prev_hash="0" * 64):
+    """A block whose first tx is a cheap interloper at the very top."""
+    cheap = txf.tx(fee=10, vsize=100, nonce=height * 100 + 1)
+    rich = [
+        txf.tx(fee=(20 - i) * 100, vsize=100, nonce=height * 100 + 2 + i)
+        for i in range(19)
+    ]
+    block = make_test_block([cheap] + rich, height=height, prev_hash=prev_hash, timestamp=float(height))
+    return block, cheap
+
+
+class TestCandidates:
+    def test_thresholding(self):
+        errors = {"a": 100.0, "b": 95.0, "c": 10.0, "d": -50.0}
+        assert set(candidate_txids(errors, 99.0)) == {"a"}
+        assert set(candidate_txids(errors, 90.0)) == {"a", "b"}
+        assert set(candidate_txids(errors, 1.0)) == {"a", "b", "c"}
+
+
+class TestDetectionSweep:
+    def test_flags_boosted_transaction(self, txf):
+        block, cheap = boosted_block(txf)
+        report = detection_sweep(
+            [block],
+            is_accelerated=lambda txid: txid == cheap.txid,
+            thresholds=(99.0, 50.0),
+            rng=np.random.default_rng(0),
+            control_sample_size=5,
+        )
+        at99 = report.rows[0]
+        assert at99.candidate_count == 1
+        assert at99.accelerated_count == 1
+        assert at99.precision == 1.0
+
+    def test_honest_block_produces_no_high_sppe_candidates(self, txf):
+        txs = [txf.tx(fee=(30 - i) * 100, vsize=100, nonce=i) for i in range(20)]
+        block = make_test_block(txs)
+        report = detection_sweep(
+            [block],
+            is_accelerated=lambda txid: False,
+            thresholds=(99.0,),
+            rng=np.random.default_rng(0),
+        )
+        assert report.rows[0].candidate_count == 0
+        assert report.rows[0].precision != report.rows[0].precision  # NaN
+
+    def test_control_sample(self, txf):
+        block, cheap = boosted_block(txf)
+        report = detection_sweep(
+            [block],
+            is_accelerated=lambda txid: False,
+            rng=np.random.default_rng(0),
+            control_sample_size=10,
+        )
+        assert report.control_sample_size == 10
+        assert report.control_accelerated == 0
+        assert report.control_rate == 0.0
+
+    def test_default_thresholds_are_paper_rows(self):
+        assert TABLE4_THRESHOLDS == (100.0, 99.0, 90.0, 50.0, 1.0)
+
+
+class TestScoreDetector:
+    def test_precision_and_recall(self, txf):
+        block, cheap = boosted_block(txf)
+        scores = score_detector(
+            [block],
+            accelerated_truth=frozenset({cheap.txid}),
+            thresholds=(99.0, 1.0),
+        )
+        by_threshold = {s.threshold: s for s in scores}
+        assert by_threshold[99.0].precision == 1.0
+        assert by_threshold[99.0].recall == 1.0
+        # At the loose threshold precision collapses (jittered rich txs).
+        assert by_threshold[1.0].recall == 1.0
+
+    def test_uncommitted_truth_ignored(self, txf):
+        block, cheap = boosted_block(txf)
+        scores = score_detector(
+            [block],
+            accelerated_truth=frozenset({cheap.txid, "never-committed"}),
+            thresholds=(99.0,),
+        )
+        assert scores[0].false_negatives == 0
+
+    def test_empty_truth(self, txf):
+        block, _ = boosted_block(txf)
+        scores = score_detector([block], accelerated_truth=frozenset(), thresholds=(99.0,))
+        assert scores[0].true_positives == 0
+        assert scores[0].recall != scores[0].recall  # NaN

@@ -1,0 +1,80 @@
+"""Unit tests for the dark-fee acceleration service and pricer."""
+
+import numpy as np
+import pytest
+
+from repro.mining.acceleration import (
+    PAPER_MEAN_MULTIPLE,
+    PAPER_MEDIAN_MULTIPLE,
+    AccelerationPricer,
+    AccelerationService,
+)
+
+
+class TestPricer:
+    def test_quote_deterministic_per_txid(self):
+        pricer = AccelerationPricer()
+        assert pricer.quote("tx1", 1000) == pricer.quote("tx1", 1000)
+
+    def test_quotes_differ_across_txids(self):
+        pricer = AccelerationPricer()
+        assert (
+            pricer.quote("tx1", 1000).acceleration_fee
+            != pricer.quote("tx2", 1000).acceleration_fee
+        )
+
+    def test_calibration_matches_paper(self):
+        pricer = AccelerationPricer()
+        multiples = [pricer.multiple_for(f"tx{i}") for i in range(4000)]
+        median = float(np.median(multiples))
+        mean = float(np.mean(multiples))
+        assert median == pytest.approx(PAPER_MEDIAN_MULTIPLE, rel=0.15)
+        assert mean == pytest.approx(PAPER_MEAN_MULTIPLE, rel=0.35)
+
+    def test_min_fee_floor(self):
+        pricer = AccelerationPricer(min_fee=1000)
+        quote = pricer.quote("tx", public_fee=0)
+        assert quote.acceleration_fee >= 1000 * 0.5  # floor applied pre-multiple
+
+    def test_multiple_property(self):
+        pricer = AccelerationPricer()
+        quote = pricer.quote("tx", 2000)
+        assert quote.multiple == pytest.approx(quote.acceleration_fee / 2000)
+
+    def test_invalid_calibration_rejected(self):
+        with pytest.raises(ValueError):
+            AccelerationPricer(median_multiple=100, mean_multiple=50)
+
+
+class TestService:
+    def test_accelerate_and_check(self):
+        service = AccelerationService(name="svc", operators=("BTC.com",))
+        order = service.accelerate("tx1", public_fee=500, now=10.0)
+        assert service.is_accelerated("tx1")
+        assert not service.is_accelerated("tx2")
+        assert order.fee_paid >= order.public_fee
+
+    def test_underpayment_rejected(self):
+        service = AccelerationService(name="svc")
+        with pytest.raises(ValueError):
+            service.accelerate("tx1", public_fee=500, now=0.0, offered_fee=1)
+
+    def test_order_book_and_revenue(self):
+        service = AccelerationService(name="svc")
+        service.accelerate("a", public_fee=100, now=0.0)
+        service.accelerate("b", public_fee=100, now=1.0)
+        assert service.accelerated_txids() == {"a", "b"}
+        assert service.revenue == sum(o.fee_paid for o in service.orders())
+
+    def test_txid_cache_invalidation(self):
+        service = AccelerationService(name="svc")
+        service.accelerate("a", public_fee=100, now=0.0)
+        first = service.accelerated_txids()
+        service.accelerate("b", public_fee=100, now=1.0)
+        second = service.accelerated_txids()
+        assert "b" in second and "b" not in first
+
+    def test_quote_does_not_place_order(self):
+        service = AccelerationService(name="svc")
+        service.quote("tx", 100)
+        assert not service.is_accelerated("tx")

@@ -1,0 +1,124 @@
+"""Tests for the Auditor façade's remaining surface."""
+
+import numpy as np
+import pytest
+
+from repro.core.audit import Auditor
+from repro.core.norms import CpfpFilter
+
+
+@pytest.fixture(scope="module")
+def auditor(small_dataset_c):
+    return Auditor(small_dataset_c)
+
+
+@pytest.fixture(scope="module")
+def auditor_a(small_dataset_a):
+    return Auditor(small_dataset_a)
+
+
+class TestPpeSurface:
+    def test_ppe_distribution_covers_nonempty_blocks(self, auditor):
+        results = auditor.ppe_distribution()
+        nonempty = sum(
+            1
+            for block in auditor.dataset.chain
+            if len(
+                [
+                    t
+                    for t in block.transactions
+                ]
+            )
+            > 0
+        )
+        assert 0 < len(results) <= nonempty
+
+    def test_ppe_filter_variants_ordered(self, auditor):
+        none_mean = np.mean(
+            [r.ppe for r in auditor.ppe_distribution(CpfpFilter.NONE)]
+        )
+        children_mean = np.mean(
+            [r.ppe for r in auditor.ppe_distribution(CpfpFilter.CHILDREN)]
+        )
+        involved_mean = np.mean(
+            [r.ppe for r in auditor.ppe_distribution(CpfpFilter.INVOLVED)]
+        )
+        assert involved_mean <= children_mean <= none_mean + 0.5
+
+    def test_ppe_by_pool_partition(self, auditor):
+        pools = [e.pool for e in auditor.dataset.hash_rates()[:3]]
+        per_pool = auditor.ppe_by_pool(pools)
+        assert set(per_pool) == set(pools)
+        total = sum(len(v) for v in per_pool.values())
+        assert total <= len(auditor.ppe_distribution())
+
+
+class TestSnapshotSurface:
+    def test_snapshot_views_join_commits(self, auditor_a):
+        views = auditor_a.snapshot_views(count=5)
+        assert len(views) == 5
+        commits = auditor_a.dataset.commit_heights()
+        for view in views:
+            assert all(txid in commits for txid in view.txids)
+
+    def test_exclude_cpfp_shrinks_views(self, auditor_a):
+        rng1 = np.random.default_rng(5)
+        rng2 = np.random.default_rng(5)
+        plain = auditor_a.snapshot_views(count=5, rng=rng1)
+        filtered = auditor_a.snapshot_views(count=5, rng=rng2, exclude_cpfp=True)
+        assert sum(v.tx_count for v in filtered) <= sum(v.tx_count for v in plain)
+
+    def test_violation_stats_reproducible_with_rng(self, auditor_a):
+        a = auditor_a.violation_stats(count=5, rng=np.random.default_rng(9))
+        b = auditor_a.violation_stats(count=5, rng=np.random.default_rng(9))
+        assert [s.violating_pairs for s in a] == [s.violating_pairs for s in b]
+
+
+class TestDelaysSurface:
+    def test_censored_superset_of_committed(self, auditor_a):
+        _, committed_only = auditor_a.commit_delays(include_censored=False)
+        _, censored = auditor_a.commit_delays(include_censored=True)
+        assert censored.size >= committed_only.size
+
+    def test_congested_fraction_in_unit_interval(self, auditor_a):
+        fraction = auditor_a.congested_fraction()
+        assert 0.0 <= fraction <= 1.0
+
+    def test_fee_rates_by_congestion_covers_observed(self, auditor_a):
+        grouped = auditor_a.fee_rates_by_congestion_level()
+        total = sum(len(v) for v in grouped.values())
+        observed = sum(
+            1 for r in auditor_a.dataset.tx_records.values() if r.observed
+        )
+        assert total == observed
+
+
+class TestTableSurfaces:
+    def test_self_interest_table_owner_filter(self, auditor):
+        rows = auditor.self_interest_table(owner_pools=["F2Pool"])
+        assert rows
+        assert all(row.owner_pool == "F2Pool" for row in rows)
+
+    def test_self_interest_ground_truth_mode(self, auditor):
+        inferred = auditor.self_interest_table(
+            owner_pools=["F2Pool"], use_inferred=True
+        )
+        truth = auditor.self_interest_table(
+            owner_pools=["F2Pool"], use_inferred=False
+        )
+        assert inferred and truth
+        # The inferred set can only be a superset of committed truth.
+        assert inferred[0].tx_count >= 0.9 * truth[0].tx_count
+
+    def test_scam_table_explicit_pools(self, auditor):
+        rows = auditor.scam_table(target_pools=["F2Pool", "Poolin"])
+        assert [row.pool for row in rows] == ["F2Pool", "Poolin"]
+
+    def test_dark_fee_sweep_custom_thresholds(self, auditor):
+        report = auditor.dark_fee_sweep(
+            "BTC.com",
+            service_name="BTC.com-accelerator",
+            thresholds=(95.0, 5.0),
+            rng=np.random.default_rng(2),
+        )
+        assert [row.threshold for row in report.rows] == [95.0, 5.0]

@@ -1,0 +1,183 @@
+"""Unit tests for blocks, headers, merkle roots, and the chain container."""
+
+import pytest
+
+from repro.chain.block import GENESIS_HASH, build_block, merkle_root
+from repro.chain.blockchain import Blockchain, ChainValidationError
+from repro.chain.constants import MAX_BLOCK_VSIZE
+from repro.chain.transaction import make_coinbase
+
+from conftest import TxFactory, make_test_block
+
+
+@pytest.fixture
+def factory():
+    return TxFactory("block-tests")
+
+
+class TestMerkleRoot:
+    def test_deterministic(self):
+        assert merkle_root(["a", "b", "c"]) == merkle_root(["a", "b", "c"])
+
+    def test_order_sensitive(self):
+        assert merkle_root(["a", "b"]) != merkle_root(["b", "a"])
+
+    def test_empty_list_has_root(self):
+        assert len(merkle_root([])) == 64
+
+    def test_odd_count_handled(self):
+        assert len(merkle_root(["a", "b", "c"])) == 64
+
+    def test_single_leaf_is_the_leaf(self):
+        # Bitcoin semantics: a one-transaction tree's root is the txid.
+        assert merkle_root(["only"]) == "only"
+
+
+class TestBlock:
+    def test_positions(self, factory):
+        txs = [factory.tx(nonce=i) for i in range(4)]
+        block = make_test_block(txs)
+        assert block.position_of(txs[0].txid) == 0
+        assert block.position_of(txs[3].txid) == 3
+        assert block.position_of("missing") is None
+        assert block.positions() == {tx.txid: i for i, tx in enumerate(txs)}
+
+    def test_total_fees_excludes_coinbase(self, factory):
+        txs = [factory.tx(fee=100), factory.tx(fee=250)]
+        block = make_test_block(txs)
+        assert block.total_fees == 350
+
+    def test_vsize_includes_coinbase(self, factory):
+        txs = [factory.tx(vsize=300)]
+        block = make_test_block(txs)
+        assert block.vsize == 300 + block.coinbase.vsize
+
+    def test_empty_block(self):
+        block = make_test_block([])
+        assert block.is_empty
+        assert block.tx_count == 0
+
+    def test_duplicate_tx_rejected(self, factory):
+        tx = factory.tx()
+        with pytest.raises(ValueError):
+            make_test_block([tx, tx])
+
+    def test_oversized_block_rejected(self, factory):
+        txs = [factory.tx(vsize=90_000, nonce=i) for i in range(12)]
+        with pytest.raises(ValueError):
+            make_test_block(txs)
+
+    def test_header_hash_changes_with_content(self, factory):
+        a = make_test_block([factory.tx(nonce=1)])
+        b = make_test_block([factory.tx(nonce=2)])
+        assert a.block_hash != b.block_hash
+
+    def test_iter_and_len(self, factory):
+        txs = [factory.tx(nonce=i) for i in range(3)]
+        block = make_test_block(txs)
+        assert len(block) == 3
+        assert list(block) == txs
+
+
+class TestBlockchain:
+    def _chain_of(self, factory, count):
+        chain = Blockchain()
+        for height in range(count):
+            block = make_test_block(
+                [factory.tx(nonce=height * 10 + i) for i in range(2)],
+                height=height,
+                prev_hash=chain.tip_hash,
+                timestamp=float(height),
+            )
+            chain.append(block)
+        return chain
+
+    def test_appends_and_heights(self, factory):
+        chain = self._chain_of(factory, 3)
+        assert len(chain) == 3
+        assert chain.height == 2
+        assert chain[1].height == 1
+
+    def test_empty_chain_tip_is_genesis(self):
+        assert Blockchain().tip_hash == GENESIS_HASH
+
+    def test_wrong_height_rejected(self, factory):
+        chain = self._chain_of(factory, 1)
+        bad = make_test_block([], height=5, prev_hash=chain.tip_hash, timestamp=9.0)
+        with pytest.raises(ChainValidationError):
+            chain.append(bad)
+
+    def test_wrong_prev_hash_rejected(self, factory):
+        chain = self._chain_of(factory, 1)
+        bad = make_test_block([], height=1, prev_hash="00" * 32, timestamp=9.0)
+        with pytest.raises(ChainValidationError):
+            chain.append(bad)
+
+    def test_backwards_timestamp_rejected(self, factory):
+        chain = self._chain_of(factory, 2)
+        bad = make_test_block(
+            [], height=2, prev_hash=chain.tip_hash, timestamp=-5.0
+        )
+        with pytest.raises(ChainValidationError):
+            chain.append(bad)
+
+    def test_duplicate_transaction_rejected(self, factory):
+        tx = factory.tx()
+        chain = Blockchain()
+        chain.append(make_test_block([tx], height=0, timestamp=0.0))
+        dup = make_test_block(
+            [tx], height=1, prev_hash=chain.tip_hash, timestamp=1.0
+        )
+        with pytest.raises(ChainValidationError):
+            chain.append(dup)
+
+    def test_location_lookup(self, factory):
+        txs = [factory.tx(nonce=i) for i in range(3)]
+        chain = Blockchain()
+        chain.append(make_test_block(txs, height=0, timestamp=0.0))
+        location = chain.location_of(txs[2].txid)
+        assert location is not None
+        assert (location.height, location.position) == (0, 2)
+        assert chain.location_of("nope") is None
+
+    def test_transaction_lookup_includes_coinbase(self, factory):
+        chain = self._chain_of(factory, 1)
+        block = chain[0]
+        assert chain.transaction(block.coinbase.txid) is block.coinbase
+
+    def test_iter_transactions(self, factory):
+        chain = self._chain_of(factory, 2)
+        triples = list(chain.iter_transactions())
+        assert len(triples) == 4
+        assert triples[0][0].height == 0
+
+    def test_resolve_input_addresses(self, factory):
+        parent = factory.tx(to_address="alice", nonce=100)
+        child = factory.tx(parents=(parent.txid,), nonce=101)
+        chain = Blockchain()
+        chain.append(make_test_block([parent], height=0, timestamp=0.0))
+        chain.append(
+            make_test_block(
+                [child], height=1, prev_hash=chain.tip_hash, timestamp=1.0
+            )
+        )
+        # The child's first input is synthetic (index 0 of an unknown tx),
+        # its extra parent points at outpoint 0 of the parent -> "alice".
+        assert "alice" in chain.resolve_input_addresses(child)
+
+    def test_transactions_touching_finds_receivers_and_senders(self, factory):
+        wallet = frozenset({"pool-wallet"})
+        incoming = factory.tx(to_address="pool-wallet", nonce=200)
+        spender = factory.tx(parents=(incoming.txid,), nonce=201)
+        unrelated = factory.tx(nonce=202)
+        chain = Blockchain()
+        chain.append(make_test_block([incoming, unrelated], height=0, timestamp=0.0))
+        chain.append(
+            make_test_block(
+                [spender], height=1, prev_hash=chain.tip_hash, timestamp=1.0
+            )
+        )
+        touching = set(chain.transactions_touching(wallet))
+        assert incoming.txid in touching
+        assert spender.txid in touching
+        assert unrelated.txid not in touching

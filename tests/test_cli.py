@@ -1,0 +1,46 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.datasets.io import load_dataset
+
+
+class TestList:
+    def test_lists_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        ids = [line.split()[0] for line in out.strip().splitlines()]
+        assert "fig1" in ids and "table5" in ids and "fig14" in ids
+        assert "ext_norms" in ids and "abl_epsilon" in ids
+        # 16 paper artefacts + 8 extensions/ablations.
+        assert len(ids) == 24
+
+
+class TestRun:
+    def test_cheap_experiment_runs(self, capsys):
+        code = main(["run", "table5", "--scale", "0.05"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Table 5" in out
+        assert "[PASS]" in out
+
+    def test_unknown_experiment_rejected(self, capsys):
+        code = main(["run", "fig99"])
+        assert code == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_report_written_to_file(self, tmp_path, capsys):
+        out_file = tmp_path / "report.txt"
+        code = main(["run", "fig1", "--scale", "0.05", "--out", str(out_file)])
+        assert code == 0
+        assert "Fig 1" in out_file.read_text()
+
+
+class TestDataset:
+    def test_dataset_export(self, tmp_path, capsys):
+        out_file = tmp_path / "a.json.gz"
+        code = main(["dataset", "A", "--scale", "0.05", "--out", str(out_file)])
+        assert code == 0
+        dataset = load_dataset(out_file)
+        assert dataset.block_count > 0

@@ -1,0 +1,148 @@
+"""Unit tests for congestion, delay, and fee-band analyses."""
+
+import numpy as np
+import pytest
+
+from repro.core.congestion import (
+    DelaySummary,
+    FeeRateSummary,
+    commit_delays_in_blocks,
+    congested_fraction_by,
+    dataset_fee_rates_by_pool,
+    delays_by_fee_band,
+    fee_band,
+    fee_rates_by_congestion,
+    mempool_size_series,
+    stochastic_dominance_ok,
+)
+from repro.mempool.snapshots import MempoolSnapshot, SnapshotStore, SnapshotTx
+
+
+def store_with_sizes(spec):
+    """spec: list of (time, total_vsize) — encoded as a single fat tx."""
+    snaps = [
+        MempoolSnapshot(
+            time=t, txs=(SnapshotTx(f"tx{t}", t, 100, size),) if size else ()
+        )
+        for t, size in spec
+    ]
+    return SnapshotStore(snaps)
+
+
+class TestFeeBands:
+    def test_band_edges(self):
+        assert fee_band(5.0) == "low"
+        assert fee_band(10.0) == "high"
+        assert fee_band(100.0) == "high"
+        assert fee_band(100.1) == "exorbitant"
+
+    def test_paper_units(self):
+        # 1e-4 BTC/KB == 10 sat/vB is the low/high edge.
+        assert fee_band(9.99) == "low"
+
+
+class TestCommitDelays:
+    def test_next_block_is_delay_one(self):
+        block_times = [10.0, 20.0, 30.0]
+        delays = commit_delays_in_blocks([5.0], [0], block_times)
+        assert delays.tolist() == [1]
+
+    def test_skipped_blocks_counted(self):
+        block_times = [10.0, 20.0, 30.0]
+        delays = commit_delays_in_blocks([5.0], [2], block_times)
+        assert delays.tolist() == [3]
+
+    def test_arrival_after_block_clamps(self):
+        block_times = [10.0]
+        delays = commit_delays_in_blocks([50.0], [0], block_times)
+        assert delays.tolist() == [1]
+
+    def test_arrival_exactly_at_block_time(self):
+        # A tx arriving exactly when block 0 is found can only make block 1.
+        delays = commit_delays_in_blocks([10.0], [1], [10.0, 20.0])
+        assert delays.tolist() == [1]
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            commit_delays_in_blocks([1.0, 2.0], [0], [10.0])
+
+    def test_summary(self):
+        delays = np.asarray([1, 1, 1, 3, 12])
+        summary = DelaySummary.from_delays(delays)
+        assert summary.next_block_fraction == pytest.approx(0.6)
+        assert summary.delayed_3plus_fraction == pytest.approx(0.4)
+        assert summary.delayed_10plus_fraction == pytest.approx(0.2)
+        assert summary.max_delay == 12
+
+    def test_summary_empty(self):
+        summary = DelaySummary.from_delays(np.asarray([]))
+        assert summary.tx_count == 0
+
+
+class TestDelayByBand:
+    def test_grouping(self):
+        rates = np.asarray([5.0, 50.0, 500.0])
+        delays = np.asarray([9, 3, 1])
+        grouped = delays_by_fee_band(rates, delays)
+        assert grouped["low"].tolist() == [9]
+        assert grouped["high"].tolist() == [3]
+        assert grouped["exorbitant"].tolist() == [1]
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            delays_by_fee_band(np.asarray([1.0]), np.asarray([1, 2]))
+
+
+class TestFeeRatesByCongestion:
+    def test_attribution_to_bins(self):
+        store = store_with_sizes([(0.0, 500_000), (15.0, 3_000_000)])
+        grouped = fee_rates_by_congestion(
+            arrival_times=[5.0, 20.0],
+            fee_rates=[10.0, 99.0],
+            snapshots=store,
+        )
+        assert grouped["<=1MB"].tolist() == [10.0]
+        assert grouped["(2,4]MB"].tolist() == [99.0]
+
+    def test_pre_first_snapshot_clamps(self):
+        store = store_with_sizes([(10.0, 500_000)])
+        grouped = fee_rates_by_congestion([0.0], [42.0], store)
+        assert grouped["<=1MB"].tolist() == [42.0]
+
+    def test_empty_store_rejected(self):
+        with pytest.raises(ValueError):
+            fee_rates_by_congestion([0.0], [1.0], SnapshotStore([]))
+
+
+class TestMisc:
+    def test_fee_rate_summary(self):
+        summary = FeeRateSummary.from_rates([0.5, 5.0, 50.0, 500.0])
+        assert summary.below_minimum_fraction == pytest.approx(0.25)
+        assert summary.mid_band_fraction == pytest.approx(0.25)
+        assert summary.exorbitant_fraction == pytest.approx(0.25)
+
+    def test_dominance_check(self):
+        small = np.asarray([1.0, 2.0, 3.0] * 10)
+        large = np.asarray([5.0, 6.0, 7.0] * 10)
+        assert stochastic_dominance_ok(small, large)
+        assert not stochastic_dominance_ok(large, small)
+        assert not stochastic_dominance_ok(np.asarray([]), large)
+
+    def test_mempool_size_series(self):
+        store = store_with_sizes([(0.0, 100), (15.0, 200)])
+        times, sizes = mempool_size_series(store)
+        assert times.tolist() == [0.0, 15.0]
+        assert sizes.tolist() == [100, 200]
+
+    def test_congested_fraction_by(self):
+        store = store_with_sizes([(0.0, 2_000_000), (15.0, 100)])
+        assert congested_fraction_by(store) == pytest.approx(0.5)
+        assert congested_fraction_by(SnapshotStore([])) == 0.0
+
+    def test_fee_rates_by_pool(self):
+        grouped = dataset_fee_rates_by_pool(
+            commit_pool={"t1": "A", "t2": "B", "t3": "A"},
+            fee_rates={"t1": 5.0, "t2": 7.0, "t3": 9.0},
+        )
+        assert grouped["A"].tolist() == [5.0, 9.0]
+        assert grouped["B"].tolist() == [7.0]

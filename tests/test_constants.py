@@ -1,0 +1,65 @@
+"""Unit tests for protocol constants and unit conversions."""
+
+import pytest
+
+from repro.chain.constants import (
+    COIN,
+    HALVING_INTERVAL,
+    INITIAL_SUBSIDY,
+    MAX_BLOCK_VSIZE,
+    block_subsidy,
+    btc_per_kb_to_sat_per_vb,
+    sat_per_vb_to_btc_per_kb,
+)
+
+
+class TestBlockSubsidy:
+    def test_genesis_subsidy_is_50_btc(self):
+        assert block_subsidy(0) == 50 * COIN
+
+    def test_subsidy_constant_within_first_era(self):
+        assert block_subsidy(HALVING_INTERVAL - 1) == INITIAL_SUBSIDY
+
+    def test_first_halving(self):
+        assert block_subsidy(HALVING_INTERVAL) == INITIAL_SUBSIDY // 2
+
+    def test_second_halving(self):
+        assert block_subsidy(2 * HALVING_INTERVAL) == INITIAL_SUBSIDY // 4
+
+    def test_2020_era_subsidy_is_6_25_btc(self):
+        # Height 630_000 (May 2020) began the 6.25 BTC era.
+        assert block_subsidy(630_001) == 625_000_000
+
+    def test_subsidy_reaches_zero_after_64_halvings(self):
+        assert block_subsidy(64 * HALVING_INTERVAL) == 0
+
+    def test_negative_height_rejected(self):
+        with pytest.raises(ValueError):
+            block_subsidy(-1)
+
+    def test_total_supply_bounded_by_21m(self):
+        total = sum(
+            block_subsidy(era * HALVING_INTERVAL) * HALVING_INTERVAL
+            for era in range(64)
+        )
+        assert total <= 21_000_000 * COIN
+
+
+class TestUnitConversions:
+    def test_recommended_minimum_is_one_sat_per_vb(self):
+        # 1e-5 BTC/KB (the paper's recommended minimum) == 1 sat/vB.
+        assert btc_per_kb_to_sat_per_vb(1e-5) == pytest.approx(1.0)
+
+    def test_round_trip(self):
+        for rate in (0.1, 1.0, 25.0, 1000.0):
+            assert sat_per_vb_to_btc_per_kb(
+                btc_per_kb_to_sat_per_vb(rate)
+            ) == pytest.approx(rate)
+
+    def test_paper_band_edges(self):
+        # The paper's 1e-4 and 1e-3 BTC/KB band edges in sat/vB.
+        assert btc_per_kb_to_sat_per_vb(1e-4) == pytest.approx(10.0)
+        assert btc_per_kb_to_sat_per_vb(1e-3) == pytest.approx(100.0)
+
+    def test_block_limit_is_one_megabyte(self):
+        assert MAX_BLOCK_VSIZE == 1_000_000

@@ -1,0 +1,133 @@
+"""Focused tests for the engine's conflict and eligibility internals."""
+
+import numpy as np
+import pytest
+
+from repro.chain.transaction import TransactionBuilder
+from repro.mining.pool import MiningPool
+from repro.simulation.engine import (
+    EngineConfig,
+    ObserverConfig,
+    SimulationEngine,
+)
+from repro.simulation.rng import RngStreams
+from repro.simulation.workload import PlannedTx
+
+
+def run_plan(plan, duration=6000.0, seed=5):
+    """Run a hand-built plan through a single-pool engine."""
+    engine = SimulationEngine(
+        EngineConfig(
+            duration=duration,
+            empty_block_probability=0.0,
+            pool_delay_median=0.1,
+            pool_delay_sigma=0.1,
+            slow_delivery_probability=0.0,
+        ),
+        [MiningPool(name="Solo", marker="/Solo/", hash_share=1.0)],
+        [ObserverConfig(name="obs", min_fee_rate=0.0)],
+        RngStreams(seed),
+    )
+    return engine.run(plan).dataset
+
+
+class TestReplacementRaces:
+    def test_bump_before_commit_wins(self):
+        builder = TransactionBuilder("engine-rbf-1")
+        original = builder.build("a", 1000, fee=100, vsize=200, nonce=1)
+        bump = builder.replacement(original, fee=50_000)
+        plan = [
+            PlannedTx(broadcast_time=1.0, tx=original),
+            PlannedTx(broadcast_time=2.0, tx=bump),
+        ]
+        dataset = run_plan(plan)
+        assert dataset.tx_records[bump.txid].committed
+        assert not dataset.tx_records[original.txid].committed
+
+    def test_bump_after_commit_is_dropped(self):
+        builder = TransactionBuilder("engine-rbf-2")
+        original = builder.build("a", 1000, fee=5000, vsize=200, nonce=1)
+        bump = builder.replacement(original, fee=50_000)
+        plan = [
+            PlannedTx(broadcast_time=1.0, tx=original),
+            # The bump arrives long after the original surely committed.
+            PlannedTx(broadcast_time=4000.0, tx=bump),
+        ]
+        dataset = run_plan(plan)
+        assert dataset.tx_records[original.txid].committed
+        assert not dataset.tx_records[bump.txid].committed
+
+    def test_underpaying_bump_ignored(self):
+        builder = TransactionBuilder("engine-rbf-3")
+        # Keep the original pending by giving the pool no block before
+        # the bump arrives (both early, fee comparison decides).
+        original = builder.build("a", 1000, fee=5000, vsize=200, nonce=1)
+        weak = builder.replacement(original, fee=5000)  # equal: invalid
+        plan = [
+            PlannedTx(broadcast_time=1.0, tx=original),
+            PlannedTx(broadcast_time=2.0, tx=weak),
+        ]
+        dataset = run_plan(plan)
+        assert dataset.tx_records[original.txid].committed
+        assert not dataset.tx_records[weak.txid].committed
+
+    def test_replaced_parents_children_are_orphaned(self):
+        builder = TransactionBuilder("engine-rbf-4")
+        parent = builder.build("a", 1000, fee=100, vsize=200, nonce=1)
+        child = builder.build(
+            "b", 500, fee=90_000, vsize=150, extra_parents=[parent.txid], nonce=2
+        )
+        bump = builder.replacement(parent, fee=70_000)
+        plan = [
+            PlannedTx(broadcast_time=1.0, tx=parent),
+            PlannedTx(broadcast_time=2.0, tx=child),
+            PlannedTx(broadcast_time=3.0, tx=bump),
+        ]
+        dataset = run_plan(plan)
+        assert dataset.tx_records[bump.txid].committed
+        # The child spent an output of the displaced parent: it must
+        # never commit (its input no longer exists).
+        assert not dataset.tx_records[child.txid].committed
+
+
+class TestEligibility:
+    def test_child_waits_for_parent_propagation(self):
+        # A child broadcast long before its parent reaches the pool must
+        # not be committed without (or before) the parent.
+        builder = TransactionBuilder("engine-elig")
+        parent = builder.build("a", 1000, fee=50_000, vsize=200, nonce=1)
+        child = builder.build(
+            "b", 500, fee=60_000, vsize=150, extra_parents=[parent.txid], nonce=2
+        )
+        plan = [
+            PlannedTx(broadcast_time=500.0, tx=parent),
+            PlannedTx(broadcast_time=1.0, tx=child),  # child first!
+        ]
+        dataset = run_plan(plan)
+        commits = dataset.commit_heights()
+        assert parent.txid in commits and child.txid in commits
+        parent_pos = (
+            commits[parent.txid],
+            dataset.tx_records[parent.txid].commit_position,
+        )
+        child_pos = (
+            commits[child.txid],
+            dataset.tx_records[child.txid].commit_position,
+        )
+        assert parent_pos < child_pos
+
+    def test_observer_threshold_blinds_but_does_not_block(self):
+        # The observer rejects a low-fee tx, but the pool still mines it.
+        builder = TransactionBuilder("engine-thresh")
+        cheap = builder.build("a", 1000, fee=0, vsize=200, nonce=1)
+        plan = [PlannedTx(broadcast_time=1.0, tx=cheap)]
+        engine = SimulationEngine(
+            EngineConfig(duration=3000.0, empty_block_probability=0.0),
+            [MiningPool(name="Solo", marker="/Solo/", hash_share=1.0)],
+            [ObserverConfig(name="strict", min_fee_rate=1.0)],
+            RngStreams(3),
+        )
+        dataset = engine.run(plan).dataset
+        record = dataset.tx_records[cheap.txid]
+        assert record.committed
+        assert not record.observed

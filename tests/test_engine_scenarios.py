@@ -1,0 +1,210 @@
+"""Unit/integration tests for the engine and scenario builders."""
+
+import numpy as np
+import pytest
+
+from repro.chain.constants import MAX_BLOCK_VSIZE
+from repro.mining.gbt import is_topologically_valid
+from repro.simulation.engine import (
+    EngineConfig,
+    ObserverConfig,
+    SimulationEngine,
+    generate_block_schedule,
+)
+from repro.simulation.rng import RngStreams
+from repro.simulation.scenarios import (
+    dataset_a_scenario,
+    dataset_c_scenario,
+    find_pool,
+    honest_scenario,
+    scam_window_bounds,
+)
+from repro.simulation.workload import PlannedTx
+
+from conftest import TxFactory
+
+
+@pytest.fixture
+def txf():
+    return TxFactory("engine")
+
+
+class TestBlockSchedule:
+    def test_respects_duration(self):
+        schedule = generate_block_schedule(
+            6000.0, 600.0, [0.5, 0.5], np.random.default_rng(0)
+        )
+        assert all(0 < t <= 6000.0 for t, _ in schedule)
+
+    def test_winner_frequencies_track_shares(self):
+        schedule = generate_block_schedule(
+            600.0 * 5000, 600.0, [0.8, 0.2], np.random.default_rng(0)
+        )
+        winners = [w for _, w in schedule]
+        share0 = winners.count(0) / len(winners)
+        assert share0 == pytest.approx(0.8, abs=0.03)
+
+    def test_mean_interval_near_target(self):
+        schedule = generate_block_schedule(
+            600.0 * 3000, 600.0, [1.0], np.random.default_rng(0)
+        )
+        times = [t for t, _ in schedule]
+        intervals = np.diff([0.0] + times)
+        assert float(intervals.mean()) == pytest.approx(600.0, rel=0.1)
+
+
+class TestHonestScenario:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return honest_scenario(seed=11, blocks=40).run()
+
+    def test_dataset_basics(self, result):
+        dataset = result.dataset
+        assert dataset.block_count > 10
+        assert dataset.tx_count > 500
+        assert dataset.size_series is not None
+
+    def test_blocks_respect_vsize_limit(self, result):
+        for block in result.dataset.chain:
+            assert block.vsize <= MAX_BLOCK_VSIZE
+
+    def test_blocks_topologically_valid(self, result):
+        for block in result.dataset.chain:
+            assert is_topologically_valid(block.transactions)
+
+    def test_no_duplicate_commits(self, result):
+        seen = set()
+        for block in result.dataset.chain:
+            for tx in block.transactions:
+                assert tx.txid not in seen
+                seen.add(tx.txid)
+
+    def test_child_never_commits_before_parent(self, result):
+        dataset = result.dataset
+        commits = dataset.commit_heights()
+        for block in dataset.chain:
+            for position, tx in enumerate(block.transactions):
+                for parent in tx.parent_txids:
+                    if parent in commits:
+                        assert (commits[parent], 0) <= (block.height, position)
+
+    def test_attribution_shares_track_configured(self, result):
+        dataset = result.dataset
+        estimates = {e.pool: e.share for e in dataset.hash_rates()}
+        # F2Pool configured at 17.5% of an 8-pool subset (~21% renormalised).
+        assert estimates.get("F2Pool", 0.0) > 0.05
+
+    def test_tx_records_consistent_with_chain(self, result):
+        dataset = result.dataset
+        for block in dataset.chain:
+            for position, tx in enumerate(block.transactions):
+                record = dataset.tx_records[tx.txid]
+                assert record.commit_height == block.height
+                assert record.commit_position == position
+
+    def test_snapshot_sizes_match_series_scale(self, result):
+        dataset = result.dataset
+        series = dataset.size_series
+        assert len(series) > 100
+        # Snapshots are a sample of series ticks.
+        tick_times = set(series.times)
+        assert all(s.time in tick_times for s in dataset.snapshots)
+
+    def test_determinism(self):
+        first = honest_scenario(seed=12, blocks=15).run().dataset
+        second = honest_scenario(seed=12, blocks=15).run().dataset
+        assert first.chain.tip_hash == second.chain.tip_hash
+        assert first.size_series.sizes() == second.size_series.sizes()
+
+
+class TestEngineValidation:
+    def test_requires_pools_and_observers(self):
+        streams = RngStreams(0)
+        with pytest.raises(ValueError):
+            SimulationEngine(
+                EngineConfig(duration=100.0), [], [ObserverConfig("o")], streams
+            )
+
+    def test_empty_plan_yields_empty_blocks(self, txf):
+        from repro.mining.pool import MiningPool
+
+        streams = RngStreams(3)
+        engine = SimulationEngine(
+            EngineConfig(duration=6000.0),
+            [MiningPool(name="P", marker="/P/", hash_share=1.0)],
+            [ObserverConfig("o")],
+            streams,
+        )
+        result = engine.run([])
+        assert all(block.is_empty for block in result.dataset.chain)
+
+
+class TestScenarioBuilders:
+    def test_scale_controls_size(self):
+        small = dataset_a_scenario(scale=0.05)
+        large = dataset_a_scenario(scale=0.2)
+        assert small.engine_config.duration < large.engine_config.duration
+
+    def test_find_pool(self):
+        scenario = dataset_c_scenario(scale=0.05)
+        assert find_pool(scenario, "F2Pool") is not None
+        assert find_pool(scenario, "NoSuchPool") is None
+
+    def test_scam_window_inside_run(self):
+        scenario = dataset_c_scenario(scale=0.05)
+        start, end = scam_window_bounds(scenario)
+        assert 0.0 < start < end < scenario.engine_config.duration
+
+    def test_dataset_c_has_misbehaviour_wiring(self):
+        scenario = dataset_c_scenario(scale=0.05)
+        f2pool = find_pool(scenario, "F2Pool")
+        from repro.mining.policies import PrioritizeSetPolicy
+
+        assert isinstance(f2pool.policy, PrioritizeSetPolicy)
+        poolin = find_pool(scenario, "Poolin")
+        assert not isinstance(poolin.policy, PrioritizeSetPolicy)
+
+    def test_dataset_a_pools_honest(self):
+        scenario = dataset_a_scenario(scale=0.05)
+        from repro.mining.policies import PrioritizeSetPolicy
+
+        assert not any(
+            isinstance(pool.policy, PrioritizeSetPolicy) for pool in scenario.pools
+        )
+
+    def test_ghost_pool_unregistered(self):
+        scenario = dataset_c_scenario(scale=0.05)
+        ghost = find_pool(scenario, "ghost-fringe")
+        assert ghost is not None and not ghost.registered
+
+
+class TestCuratedDatasets:
+    """Checks on the session-scoped scaled datasets."""
+
+    def test_dataset_a_metadata(self, small_dataset_a):
+        assert small_dataset_a.metadata["scenario"] == "dataset-A"
+        assert small_dataset_a.metadata["min_fee_rate"] == 1.0
+
+    def test_dataset_b_accepts_zero_fee(self, small_dataset_b):
+        zero_fee = small_dataset_b.labelled_txids("zero-fee")
+        assert zero_fee
+        observed = [
+            small_dataset_b.tx_records[txid].observed for txid in zero_fee
+        ]
+        assert any(observed)
+
+    def test_dataset_a_rejects_low_fee_at_observer(self, small_dataset_a):
+        # The A observer enforces the 1 sat/vB default: every observed
+        # transaction respects it.
+        for record in small_dataset_a.tx_records.values():
+            if record.observed:
+                assert record.fee_rate >= 1.0
+
+    def test_dataset_c_ground_truth_labels_present(self, small_dataset_c):
+        assert small_dataset_c.scam_txids()
+        assert small_dataset_c.accelerated_txids()
+        assert small_dataset_c.self_interest_txids("F2Pool")
+
+    def test_scam_window_metadata(self, small_dataset_c):
+        start, end = small_dataset_c.metadata["scam_window"]
+        assert start < end

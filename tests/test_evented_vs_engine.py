@@ -1,0 +1,147 @@
+"""Cross-validation: the evented reference path vs the engine fast path.
+
+DESIGN.md promises that the vectorised engine reproduces the evented
+network's audit-relevant observables.  These tests run the *same
+workload plan and pool lineup* through both paths and compare what the
+audit consumes: commit coverage, delay distributions, ordering
+conformance (PPE), and violation fractions.  The two paths use
+different randomness for propagation, so comparisons are distributional
+rather than exact.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.congestion import commit_delays_in_blocks
+from repro.core.ppe import chain_ppe, summarize_ppe
+from repro.mining.pool import DATASET_C_POOLS, make_pools
+from repro.mining.policies import FeeRatePolicy
+from repro.simulation.engine import (
+    EngineConfig,
+    ObserverConfig,
+    SimulationEngine,
+)
+from repro.simulation.evented import EventedConfig, EventedSimulation
+from repro.simulation.rng import RngStreams
+from repro.simulation.workload import (
+    DemandModel,
+    SizeModel,
+    WorkloadConfig,
+    WorkloadGenerator,
+)
+
+
+DURATION = 60 * 600.0  # 60 target blocks
+
+
+@pytest.fixture(scope="module")
+def shared_plan():
+    config = WorkloadConfig(
+        duration=DURATION,
+        capacity_vsize_per_second=1_000_000 / 600.0,
+        demand=DemandModel(base_ratio=0.9),
+        sizes=SizeModel(median_vsize=8000.0),
+    )
+    return WorkloadGenerator(config, RngStreams(2024)).generate()
+
+
+def fresh_pools():
+    pools = make_pools(DATASET_C_POOLS[:6])
+    for pool in pools:
+        pool.policy = FeeRatePolicy(package_selection=True)
+    return pools
+
+
+@pytest.fixture(scope="module")
+def shared_schedule():
+    from repro.mining.pool import normalize_hash_shares
+    from repro.simulation.engine import generate_block_schedule
+
+    return generate_block_schedule(
+        DURATION,
+        600.0,
+        normalize_hash_shares(fresh_pools()),
+        RngStreams(7).stream("mining"),
+    )
+
+
+@pytest.fixture(scope="module")
+def evented_dataset(shared_plan, shared_schedule):
+    simulation = EventedSimulation(
+        EventedConfig(duration=DURATION), fresh_pools(), RngStreams(7)
+    )
+    return simulation.run(shared_plan, schedule=shared_schedule)
+
+
+@pytest.fixture(scope="module")
+def engine_dataset(shared_plan, shared_schedule):
+    engine = SimulationEngine(
+        EngineConfig(duration=DURATION, empty_block_probability=0.0),
+        fresh_pools(),
+        [ObserverConfig(name="fast", min_fee_rate=0.0)],
+        RngStreams(7),
+        schedule=shared_schedule,
+    )
+    return engine.run(shared_plan).dataset
+
+
+def delays_of(dataset):
+    records = [r for r in dataset.tx_records.values() if r.committed]
+    return commit_delays_in_blocks(
+        [r.broadcast_time for r in records],
+        [r.commit_height for r in records],
+        dataset.block_times(),
+    )
+
+
+class TestPathsAgree:
+    def test_both_commit_the_bulk_of_transactions(
+        self, evented_dataset, engine_dataset, shared_plan
+    ):
+        # The workload deliberately overfills capacity (persistent
+        # backlog); both paths should still commit the same majority.
+        for dataset in (evented_dataset, engine_dataset):
+            committed = sum(
+                1 for r in dataset.tx_records.values() if r.committed
+            )
+            assert committed > 0.5 * len(shared_plan)
+
+    def test_commit_coverage_similar(self, evented_dataset, engine_dataset):
+        evented = sum(1 for r in evented_dataset.tx_records.values() if r.committed)
+        fast = sum(1 for r in engine_dataset.tx_records.values() if r.committed)
+        assert abs(evented - fast) < 0.1 * max(evented, fast)
+
+    def test_delay_distributions_close(self, evented_dataset, engine_dataset):
+        evented = delays_of(evented_dataset)
+        fast = delays_of(engine_dataset)
+        for q in (0.5, 0.9):
+            assert abs(
+                float(np.quantile(evented, q)) - float(np.quantile(fast, q))
+            ) <= 2.0  # within two blocks at the probed quantiles
+
+    def test_ordering_conformance_similar(self, evented_dataset, engine_dataset):
+        evented = summarize_ppe(chain_ppe(list(evented_dataset.chain)))
+        fast = summarize_ppe(chain_ppe(list(engine_dataset.chain)))
+        # Both honest lineups order by fee-rate: low PPE on both paths.
+        assert evented.mean < 5.0
+        assert fast.mean < 5.0
+
+    def test_observer_sees_almost_everything(self, evented_dataset):
+        observed = sum(
+            1 for r in evented_dataset.tx_records.values() if r.observed
+        )
+        assert observed > 0.95 * evented_dataset.tx_count
+
+    def test_arrival_skew_is_small_but_nonzero(self, evented_dataset):
+        skews = [
+            r.observer_arrival - r.broadcast_time
+            for r in evented_dataset.tx_records.values()
+            if r.observed
+        ]
+        skews = np.asarray(skews)
+        assert float(np.median(skews)) < 10.0
+        assert float(skews.max()) > 0.0
+
+    def test_pool_shares_track_configuration(self, evented_dataset):
+        shares = {e.pool: e.share for e in evented_dataset.hash_rates()}
+        assert shares.get("F2Pool", 0.0) > 0.1  # configured ~27% of subset

@@ -1,0 +1,80 @@
+"""Smoke tests: every experiment runner produces a well-formed result.
+
+Cheap experiments run fully; dataset-heavy ones run at a tiny scale via
+a shared context.  Shape checks are *reported* but only the structural
+contract is asserted here (benchmarks assert the shapes at real scale).
+"""
+
+import pytest
+
+from repro.analysis.base import DataContext, ExperimentResult
+from repro.analysis.experiments import (
+    ALL_RUNNERS,
+    EXPERIMENTS,
+    EXTENSIONS,
+    run_experiment,
+    run_experiments,
+)
+
+#: Experiments cheap enough for unit-test scale.
+CHEAP = ("fig1", "table5", "fig14", "abl_jitter", "abl_selection")
+
+
+@pytest.fixture(scope="module")
+def tiny_ctx():
+    return DataContext(scale=0.04)
+
+
+class TestRegistry:
+    def test_paper_artefacts_complete(self):
+        expected = {
+            "fig1", "table1", "fig2", "fig3", "fig4", "fig5", "fig6",
+            "fig7", "fig8", "table2", "table3", "table4", "table5",
+            "fig9_12", "fig13", "fig14",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_extensions_registered(self):
+        assert {
+            "ext_norms",
+            "ext_censorship",
+            "ext_verification",
+            "ext_rbf",
+            "abl_selection",
+            "abl_epsilon",
+            "abl_jitter",
+        } <= set(EXTENSIONS)
+
+    def test_no_id_collisions(self):
+        assert len(ALL_RUNNERS) == len(EXPERIMENTS) + len(EXTENSIONS)
+
+    def test_unknown_id_raises(self, tiny_ctx):
+        with pytest.raises(KeyError):
+            run_experiment("fig99", tiny_ctx)
+
+
+@pytest.mark.parametrize("experiment_id", CHEAP)
+def test_cheap_experiment_contract(experiment_id, tiny_ctx):
+    result = run_experiment(experiment_id, tiny_ctx)
+    assert isinstance(result, ExperimentResult)
+    assert result.experiment_id == experiment_id
+    assert result.rendered.strip()
+    assert result.checks
+    assert result.measured
+    report = result.report()
+    assert experiment_id in report
+    assert "[PASS]" in report or "[FAIL]" in report
+
+
+def test_run_experiments_shares_context(tiny_ctx):
+    results = run_experiments(["fig1", "table5"], tiny_ctx)
+    assert [r.experiment_id for r in results] == ["fig1", "table5"]
+
+
+def test_dataset_backed_experiments_run_at_tiny_scale(tiny_ctx):
+    # A representative dataset-heavy artefact per dataset.
+    for experiment_id in ("fig5", "fig7"):
+        result = run_experiment(experiment_id, tiny_ctx)
+        assert result.rendered
+        # Structural sanity only; shape checks are scale-sensitive.
+        assert all(isinstance(c.passed, bool) for c in result.checks)

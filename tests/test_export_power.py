@@ -1,0 +1,94 @@
+"""Tests for CSV export and the power-analysis helpers."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.analysis.ext_power import detection_power, minimum_detectable_y
+from repro.datasets.export import (
+    BLOCKS_FILE,
+    POOLS_FILE,
+    SNAPSHOT_SIZES_FILE,
+    TRANSACTIONS_FILE,
+    export_csv,
+)
+
+
+class TestCsvExport:
+    @pytest.fixture(scope="class")
+    def exported(self, small_dataset_a, tmp_path_factory):
+        directory = tmp_path_factory.mktemp("csv")
+        counts = export_csv(small_dataset_a, directory)
+        return small_dataset_a, directory, counts
+
+    def test_all_files_written(self, exported):
+        _, directory, counts = exported
+        for name in (TRANSACTIONS_FILE, BLOCKS_FILE, SNAPSHOT_SIZES_FILE, POOLS_FILE):
+            assert (directory / name).exists()
+            assert counts[name] > 0
+
+    def test_transaction_rows_match_dataset(self, exported):
+        dataset, directory, counts = exported
+        assert counts[TRANSACTIONS_FILE] == dataset.tx_count
+        with (directory / TRANSACTIONS_FILE).open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == dataset.tx_count
+        sample = rows[0]
+        record = dataset.tx_records[sample["txid"]]
+        assert int(sample["fee_sat"]) == record.fee
+        assert int(sample["vsize"]) == record.vsize
+
+    def test_block_rows_match_chain(self, exported):
+        dataset, directory, counts = exported
+        assert counts[BLOCKS_FILE] == dataset.block_count
+        with (directory / BLOCKS_FILE).open() as handle:
+            rows = list(csv.DictReader(handle))
+        heights = [int(row["height"]) for row in rows]
+        assert heights == list(range(dataset.block_count))
+        assert all(row["pool"] for row in rows)
+
+    def test_snapshot_sizes_cover_series(self, exported):
+        dataset, directory, counts = exported
+        assert counts[SNAPSHOT_SIZES_FILE] == len(dataset.size_series)
+
+    def test_pools_table_shares_sum_to_one(self, exported):
+        _, directory, _ = exported
+        with (directory / POOLS_FILE).open() as handle:
+            rows = list(csv.DictReader(handle))
+        total = sum(float(row["hash_share"]) for row in rows)
+        assert total == pytest.approx(1.0, abs=1e-3)
+
+    def test_labels_serialised(self, exported):
+        dataset, directory, _ = exported
+        with (directory / TRANSACTIONS_FILE).open() as handle:
+            rows = list(csv.DictReader(handle))
+        labelled = [row for row in rows if row["labels"]]
+        # Dataset A has CPFP traffic but also RBF labels at least.
+        assert labelled
+
+
+class TestDetectionPower:
+    def test_null_rejection_rate_matches_alpha(self):
+        # Under H0 (theta == theta0) the rejection rate is ~alpha.
+        power = detection_power(
+            0.1, 0.1, 200, alpha=0.01, trials=2000, rng=np.random.default_rng(0)
+        )
+        assert power < 0.05
+
+    def test_power_grows_with_effect(self):
+        rng = np.random.default_rng(1)
+        weak = detection_power(0.1, 0.15, 100, rng=rng)
+        strong = detection_power(0.1, 0.5, 100, rng=rng)
+        assert strong > weak
+
+    def test_power_grows_with_y(self):
+        rng = np.random.default_rng(2)
+        small = detection_power(0.1, 0.25, 20, rng=rng)
+        large = detection_power(0.1, 0.25, 500, rng=rng)
+        assert large >= small
+        assert large > 0.95
+
+    def test_minimum_detectable_y(self):
+        assert minimum_detectable_y(0.07, 0.5) <= 50
+        assert minimum_detectable_y(0.07, 0.05) is None  # theta <= theta0

@@ -1,0 +1,106 @@
+"""Unit tests for the norm-assuming fee estimator."""
+
+import pytest
+
+from repro.core.fee_estimator import (
+    NormBasedFeeEstimator,
+    estimator_bias_from_dark_fees,
+)
+
+from conftest import TxFactory, make_test_block
+
+
+@pytest.fixture
+def txf():
+    return TxFactory("fees")
+
+
+def blocks_with_rates(txf, per_block_rates):
+    blocks = []
+    prev = "0" * 64
+    nonce = 0
+    for height, rates in enumerate(per_block_rates):
+        txs = []
+        for rate in rates:
+            nonce += 1
+            txs.append(txf.tx(fee=int(rate * 100), vsize=100, nonce=nonce))
+        block = make_test_block(txs, height=height, prev_hash=prev, timestamp=float(height))
+        blocks.append(block)
+        prev = block.block_hash
+    return blocks
+
+
+class TestEstimator:
+    def test_urgent_target_costs_more(self, txf):
+        blocks = blocks_with_rates(txf, [[1, 10, 50, 100, 200]] * 5)
+        estimator = NormBasedFeeEstimator()
+        fast = estimator.estimate(blocks, target_blocks=1)
+        slow = estimator.estimate(blocks, target_blocks=10)
+        assert fast.fee_rate_sat_vb > slow.fee_rate_sat_vb
+
+    def test_estimate_tracks_market_level(self, txf):
+        cheap_blocks = blocks_with_rates(txf, [[2, 3, 4]] * 4)
+        pricey_blocks = blocks_with_rates(txf, [[200, 300, 400]] * 4)
+        estimator = NormBasedFeeEstimator()
+        assert (
+            estimator.estimate(pricey_blocks).fee_rate_sat_vb
+            > estimator.estimate(cheap_blocks).fee_rate_sat_vb
+        )
+
+    def test_window_limits_lookback(self, txf):
+        old = blocks_with_rates(txf, [[1000, 1000]] * 3)
+        recent = blocks_with_rates(txf, [[5, 5]] * 3)
+        # Rebuild `recent` to continue heights after `old`.
+        blocks = old + blocks_with_rates(txf, [[5, 5]] * 3)
+        estimator = NormBasedFeeEstimator(window=3)
+        estimate = estimator.estimate(blocks, target_blocks=1)
+        assert estimate.fee_rate_sat_vb < 100
+        assert estimate.based_on_blocks == 3
+
+    def test_empty_chain_returns_minimum(self):
+        estimate = NormBasedFeeEstimator().estimate([], target_blocks=1)
+        assert estimate.fee_rate_sat_vb == 1.0
+        assert estimate.based_on_txs == 0
+
+    def test_floor_at_min_relay(self, txf):
+        blocks = blocks_with_rates(txf, [[0.01, 0.02]] * 3)
+        estimate = NormBasedFeeEstimator().estimate(blocks)
+        assert estimate.fee_rate_sat_vb >= 1.0
+
+    def test_invalid_args(self, txf):
+        with pytest.raises(ValueError):
+            NormBasedFeeEstimator(window=0)
+        with pytest.raises(ValueError):
+            NormBasedFeeEstimator().estimate([], target_blocks=0)
+
+
+class TestDarkFeeBias:
+    def test_accelerated_txs_drag_estimate_down(self, txf):
+        # Blocks full of healthy fees plus cheap accelerated interlopers.
+        blocks = []
+        accelerated = set()
+        prev = "0" * 64
+        nonce = 0
+        for height in range(6):
+            txs = []
+            for rate in (60, 70, 80, 90):
+                nonce += 1
+                txs.append(txf.tx(fee=rate * 100, vsize=100, nonce=nonce))
+            nonce += 1
+            dark = txf.tx(fee=100, vsize=100, nonce=nonce)  # 1 sat/vB
+            accelerated.add(dark.txid)
+            block = make_test_block(
+                [dark] + txs, height=height, prev_hash=prev, timestamp=float(height)
+            )
+            blocks.append(block)
+            prev = block.block_hash
+        naive, corrected = estimator_bias_from_dark_fees(
+            blocks, frozenset(accelerated), target_blocks=10
+        )
+        assert corrected.fee_rate_sat_vb >= naive.fee_rate_sat_vb
+        assert corrected.based_on_txs < naive.based_on_txs
+
+    def test_no_dark_fees_no_bias(self, txf):
+        blocks = blocks_with_rates(txf, [[10, 20, 30]] * 4)
+        naive, corrected = estimator_bias_from_dark_fees(blocks, frozenset())
+        assert naive.fee_rate_sat_vb == pytest.approx(corrected.fee_rate_sat_vb)

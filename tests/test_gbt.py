@@ -1,0 +1,183 @@
+"""Unit tests for block-template construction (GBT)."""
+
+import pytest
+
+from repro.mempool.mempool import MempoolEntry
+from repro.mining.gbt import (
+    ancestor_package_template,
+    compare_templates,
+    greedy_feerate_template,
+    is_topologically_valid,
+    repair_topological_order,
+    template_revenue,
+)
+
+from conftest import TxFactory
+
+
+@pytest.fixture
+def txf():
+    return TxFactory("gbt")
+
+
+def entries_from(txf, specs):
+    """specs: list of (fee, vsize) or (fee, vsize, parents)."""
+    entries = []
+    for spec in specs:
+        fee, vsize = spec[0], spec[1]
+        parents = spec[2] if len(spec) > 2 else ()
+        entries.append(
+            MempoolEntry(
+                tx=txf.tx(fee=fee, vsize=vsize, parents=parents),
+                arrival_time=float(len(entries)),
+            )
+        )
+    return entries
+
+
+class TestGreedyTemplate:
+    def test_orders_by_fee_rate(self, txf):
+        entries = entries_from(txf, [(100, 100), (900, 100), (500, 100)])
+        template = greedy_feerate_template(entries)
+        rates = [tx.fee_rate for tx in template.transactions]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_respects_size_budget(self, txf):
+        entries = entries_from(txf, [(1000, 400), (900, 400), (800, 400)])
+        template = greedy_feerate_template(entries, max_vsize=900)
+        assert template.total_vsize <= 900
+        assert len(template) == 2
+
+    def test_skips_oversized_but_continues(self, txf):
+        entries = entries_from(txf, [(10_000, 800), (50, 100), (40, 100)])
+        template = greedy_feerate_template(entries, max_vsize=850)
+        txids = template.txids()
+        # The big tx fits; the next one doesn't; the last one does not fit
+        # either (850-800=50 < 100) — skip-and-continue semantics.
+        assert len(txids) == 1
+
+    def test_reserved_vsize_shrinks_budget(self, txf):
+        entries = entries_from(txf, [(1000, 500)])
+        template = greedy_feerate_template(entries, max_vsize=600, reserved_vsize=200)
+        assert len(template) == 0
+
+    def test_accounting(self, txf):
+        entries = entries_from(txf, [(100, 200), (300, 300)])
+        template = greedy_feerate_template(entries)
+        assert template.total_fee == 400
+        assert template.total_vsize == 500
+
+    def test_empty_input(self):
+        template = greedy_feerate_template([])
+        assert len(template) == 0
+        assert template.total_fee == 0
+
+
+class TestAncestorPackageTemplate:
+    def test_child_pulls_parent_in(self, txf):
+        parent = txf.tx(fee=10, vsize=200, nonce=1)  # 0.05 sat/vB alone
+        child = txf.tx(fee=2000, vsize=100, parents=(parent.txid,), nonce=2)
+        filler = txf.tx(fee=300, vsize=300, nonce=3)  # 1 sat/vB
+        entries = [
+            MempoolEntry(tx=parent, arrival_time=0.0),
+            MempoolEntry(tx=child, arrival_time=1.0),
+            MempoolEntry(tx=filler, arrival_time=2.0),
+        ]
+        template = ancestor_package_template(entries, max_vsize=400)
+        txids = template.txids()
+        # Package rate (2010/300 = 6.7) beats filler (1.0): parent+child win.
+        assert txids == [parent.txid, child.txid]
+
+    def test_greedy_would_strand_parent(self, txf):
+        parent = txf.tx(fee=10, vsize=200, nonce=1)
+        child = txf.tx(fee=2000, vsize=100, parents=(parent.txid,), nonce=2)
+        entries = [
+            MempoolEntry(tx=parent, arrival_time=0.0),
+            MempoolEntry(tx=child, arrival_time=1.0),
+        ]
+        greedy = greedy_feerate_template(entries, max_vsize=400)
+        # Greedy puts the child first — topologically invalid.
+        assert not is_topologically_valid(greedy.transactions)
+
+    def test_output_topologically_valid(self, txf):
+        a = txf.tx(fee=50, vsize=100, nonce=1)
+        b = txf.tx(fee=500, vsize=100, parents=(a.txid,), nonce=2)
+        c = txf.tx(fee=700, vsize=100, parents=(b.txid,), nonce=3)
+        entries = [MempoolEntry(tx=t, arrival_time=0.0) for t in (c, b, a)]
+        template = ancestor_package_template(entries)
+        assert is_topologically_valid(template.transactions)
+        assert len(template) == 3
+
+    def test_size_budget_respected_for_packages(self, txf):
+        parent = txf.tx(fee=10, vsize=300, nonce=1)
+        child = txf.tx(fee=5000, vsize=300, parents=(parent.txid,), nonce=2)
+        entries = [
+            MempoolEntry(tx=parent, arrival_time=0.0),
+            MempoolEntry(tx=child, arrival_time=1.0),
+        ]
+        template = ancestor_package_template(entries, max_vsize=500)
+        # The package does not fit as a whole; nothing is committed
+        # (the parent alone has negligible rate but also fits... it is
+        # selected only via its own score).
+        assert child.txid not in template.txids()
+
+    def test_matches_greedy_when_no_dependencies(self, txf):
+        entries = entries_from(txf, [(100, 100), (900, 100), (500, 100), (300, 100)])
+        package = ancestor_package_template(entries)
+        greedy = greedy_feerate_template(entries)
+        assert package.txids() == greedy.txids()
+
+    def test_stale_rescore_path(self, txf):
+        # Two children share one cheap parent: after the first package
+        # commits the parent, the second child's package rate improves.
+        parent = txf.tx(fee=10, vsize=100, nonce=1)
+        child1 = txf.tx(fee=1000, vsize=100, parents=(parent.txid,), nonce=2)
+        child2 = txf.tx(fee=900, vsize=100, parents=(parent.txid,), nonce=3)
+        entries = [
+            MempoolEntry(tx=parent, arrival_time=0.0),
+            MempoolEntry(tx=child1, arrival_time=1.0),
+            MempoolEntry(tx=child2, arrival_time=2.0),
+        ]
+        template = ancestor_package_template(entries)
+        assert set(template.txids()) == {parent.txid, child1.txid, child2.txid}
+        assert is_topologically_valid(template.transactions)
+        assert template.total_fee == 1910
+
+
+class TestRepairTopologicalOrder:
+    def test_noop_on_valid_order(self, txf):
+        a = txf.tx(nonce=1)
+        b = txf.tx(parents=(a.txid,), nonce=2)
+        assert repair_topological_order([a, b]) == [a, b]
+
+    def test_repairs_inversion(self, txf):
+        a = txf.tx(nonce=1)
+        b = txf.tx(parents=(a.txid,), nonce=2)
+        repaired = repair_topological_order([b, a])
+        assert repaired == [a, b]
+
+    def test_preserves_unconstrained_order(self, txf):
+        txs = [txf.tx(nonce=i) for i in range(5)]
+        assert repair_topological_order(txs) == txs
+
+    def test_deep_chain(self, txf):
+        a = txf.tx(nonce=1)
+        b = txf.tx(parents=(a.txid,), nonce=2)
+        c = txf.tx(parents=(b.txid,), nonce=3)
+        repaired = repair_topological_order([c, b, a])
+        assert is_topologically_valid(repaired)
+        assert len(repaired) == 3
+
+
+class TestTemplateHelpers:
+    def test_template_revenue(self, txf):
+        entries = entries_from(txf, [(500, 100)])
+        template = greedy_feerate_template(entries)
+        assert template_revenue(template, subsidy=1000) == 1500
+
+    def test_compare_templates(self, txf):
+        rich = greedy_feerate_template(entries_from(txf, [(900, 100)]))
+        poor = greedy_feerate_template(entries_from(txf, [(100, 100)]))
+        assert compare_templates(rich, poor) is rich
+        assert compare_templates(poor, rich) is rich
+        assert compare_templates(rich, rich) is None

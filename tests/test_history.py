@@ -1,0 +1,90 @@
+"""Unit tests for the decade-scale history generator."""
+
+import pytest
+
+from repro.core.ppe import chain_ppe, summarize_ppe
+from repro.simulation.history import (
+    BLOCKS_PER_YEAR,
+    NORM_SWITCH_YEAR,
+    chain_growth_series,
+    generate_era_blocks,
+    halving_heights,
+    recent_transaction_share,
+    sample_fee_revenue,
+    split_by_switch,
+)
+
+
+class TestChainGrowth:
+    def test_blocks_grow_linearly(self):
+        growth = chain_growth_series()
+        blocks = growth["cumulative_blocks"]
+        diffs = blocks[1:] - blocks[:-1]
+        assert all(d == BLOCKS_PER_YEAR for d in diffs)
+
+    def test_txs_accelerate(self):
+        growth = chain_growth_series()
+        txs = growth["cumulative_txs"]
+        early_growth = txs[5] - txs[0]
+        late_growth = txs[-1] - txs[-6]
+        assert late_growth > 5 * early_growth
+
+    def test_recent_share_near_paper(self):
+        share = recent_transaction_share(chain_growth_series())
+        assert 0.4 < share < 0.75
+
+
+class TestFeeRevenue:
+    def test_rows_cover_requested_years(self):
+        rows = sample_fee_revenue(years=(2019, 2020), blocks_per_year=200)
+        assert [r.year for r in rows] == [2019, 2020]
+        assert all(r.block_count == 200 for r in rows)
+
+    def test_2017_peak(self):
+        rows = sample_fee_revenue(blocks_per_year=300)
+        means = {r.year: r.mean for r in rows}
+        assert means[2017] == max(means.values())
+
+    def test_statistics_internally_consistent(self):
+        for row in sample_fee_revenue(blocks_per_year=300):
+            assert row.min <= row.p25 <= row.median <= row.p75 <= row.max
+            assert 0.0 <= row.mean <= 100.0
+
+    def test_deterministic(self):
+        a = sample_fee_revenue(blocks_per_year=100, seed=9)
+        b = sample_fee_revenue(blocks_per_year=100, seed=9)
+        assert a == b
+
+
+class TestEraBlocks:
+    @pytest.fixture(scope="class")
+    def era_blocks(self):
+        return generate_era_blocks(blocks_per_month=3, txs_per_block=60, seed=5)
+
+    def test_spans_eras(self, era_blocks):
+        years = [eb.year for eb in era_blocks]
+        assert min(years) < NORM_SWITCH_YEAR <= max(years)
+
+    def test_split(self, era_blocks):
+        pre, post = split_by_switch(era_blocks)
+        assert pre and post
+        assert len(pre) + len(post) == len(era_blocks)
+
+    def test_fig1_contrast(self, era_blocks):
+        pre, post = split_by_switch(era_blocks)
+        pre_ppe = summarize_ppe(chain_ppe(pre))
+        post_ppe = summarize_ppe(chain_ppe(post))
+        assert post_ppe.mean < 1.0  # fee-rate era tracks the norm
+        assert pre_ppe.mean > 5 * max(post_ppe.mean, 0.1)
+
+    def test_chain_linkage(self, era_blocks):
+        hashes = [eb.block.header.prev_hash for eb in era_blocks[1:]]
+        tips = [eb.block.block_hash for eb in era_blocks[:-1]]
+        assert hashes == tips
+
+
+class TestHalvings:
+    def test_heights(self):
+        heights = halving_heights(630_000)
+        assert heights[0] == 210_000
+        assert 630_000 in heights

@@ -1,0 +1,83 @@
+"""Unit tests for dataset persistence (gzip-JSON round trips)."""
+
+import pytest
+
+from repro.datasets.io import (
+    dataset_from_dict,
+    dataset_path,
+    dataset_to_dict,
+    load_dataset,
+    load_if_exists,
+    save_dataset,
+)
+
+from test_records_dataset import build_small_dataset
+from conftest import TxFactory
+
+
+@pytest.fixture
+def txf():
+    return TxFactory("dataset")
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_preserves_chain(self, txf):
+        dataset, *_ = build_small_dataset(txf)
+        restored = dataset_from_dict(dataset_to_dict(dataset))
+        assert restored.block_count == dataset.block_count
+        assert restored.chain.tip_hash == dataset.chain.tip_hash
+        for original, copy in zip(dataset.chain, restored.chain):
+            assert original.block_hash == copy.block_hash
+            assert [t.txid for t in original] == [t.txid for t in copy]
+
+    def test_round_trip_preserves_records(self, txf):
+        dataset, wallet_tx, *_ = build_small_dataset(txf)
+        restored = dataset_from_dict(dataset_to_dict(dataset))
+        original = dataset.tx_records[wallet_tx.txid]
+        copy = restored.tx_records[wallet_tx.txid]
+        assert copy == original
+
+    def test_round_trip_preserves_pools_and_wallets(self, txf):
+        dataset, *_ = build_small_dataset(txf)
+        restored = dataset_from_dict(dataset_to_dict(dataset))
+        assert restored.block_pools == dataset.block_pools
+        assert restored.pool_wallets == dataset.pool_wallets
+
+    def test_file_round_trip(self, txf, tmp_path):
+        dataset, *_ = build_small_dataset(txf)
+        path = save_dataset(dataset, tmp_path / "ds.json.gz")
+        restored = load_dataset(path)
+        assert restored.name == dataset.name
+        assert restored.tx_count == dataset.tx_count
+
+    def test_unknown_version_rejected(self, txf):
+        dataset, *_ = build_small_dataset(txf)
+        payload = dataset_to_dict(dataset)
+        payload["version"] = 99
+        with pytest.raises(ValueError):
+            dataset_from_dict(payload)
+
+    def test_load_if_exists(self, txf, tmp_path):
+        assert load_if_exists(tmp_path / "missing.json.gz") is None
+        dataset, *_ = build_small_dataset(txf)
+        path = save_dataset(dataset, tmp_path / "ds.json.gz")
+        assert load_if_exists(path) is not None
+
+    def test_dataset_path_layout(self, tmp_path):
+        path = dataset_path(tmp_path, "dataset-A", 42)
+        assert path.name == "dataset-A-seed42.json.gz"
+
+    def test_corrupted_linkage_fails_validation(self, txf):
+        dataset, *_ = build_small_dataset(txf)
+        payload = dataset_to_dict(dataset)
+        # Swap block order: heights/linkage no longer validate.
+        payload["blocks"] = payload["blocks"][::-1]
+        with pytest.raises(Exception):
+            dataset_from_dict(payload)
+
+    def test_snapshot_and_series_round_trip(self, small_dataset_a):
+        payload = dataset_to_dict(small_dataset_a)
+        restored = dataset_from_dict(payload)
+        assert len(restored.snapshots) == len(small_dataset_a.snapshots)
+        assert restored.size_series is not None
+        assert restored.size_series.sizes() == small_dataset_a.size_series.sizes()

@@ -1,0 +1,245 @@
+"""Unit tests for candidate neutrality norms and the norm verifier."""
+
+import numpy as np
+import pytest
+
+from repro.core.neutrality import (
+    NormReplayer,
+    NormVerifier,
+    evaluate_norm,
+    gini_coefficient,
+)
+from repro.mining.gbt import BlockTemplate
+from repro.mining.neutrality import (
+    AgedFeeRatePolicy,
+    FairShareRoundRobinPolicy,
+    RandomLotteryPolicy,
+    ValueDensityPolicy,
+    candidate_norms,
+)
+from repro.mining.policies import FeeRatePolicy
+from repro.mempool.mempool import MempoolEntry
+
+from conftest import TxFactory, make_test_block
+
+
+@pytest.fixture
+def txf():
+    return TxFactory("neutrality")
+
+
+class TestGini:
+    def test_equal_values_zero(self):
+        assert gini_coefficient([5.0, 5.0, 5.0]) == pytest.approx(0.0, abs=1e-9)
+
+    def test_concentration_near_one(self):
+        assert gini_coefficient([0.0] * 99 + [100.0]) > 0.9
+
+    def test_empty_nan(self):
+        value = gini_coefficient([])
+        assert value != value
+
+    def test_all_zero(self):
+        assert gini_coefficient([0.0, 0.0]) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            gini_coefficient([-1.0, 2.0])
+
+    def test_scale_invariant(self):
+        values = [1.0, 3.0, 7.0, 12.0]
+        assert gini_coefficient(values) == pytest.approx(
+            gini_coefficient([v * 100 for v in values])
+        )
+
+
+class TestAgedFeeRate:
+    def test_fresh_entries_match_fee_rate(self, txf):
+        entries = [
+            MempoolEntry(tx=txf.tx(fee=(i + 1) * 100, vsize=100), arrival_time=0.0)
+            for i in range(5)
+        ]
+        aged = AgedFeeRatePolicy(20.0).build(entries)
+        plain = FeeRatePolicy(package_selection=False).build(entries)
+        assert aged.txids() == plain.txids()
+
+    def test_old_transaction_outranks_fresh(self, txf):
+        old_cheap = MempoolEntry(
+            tx=txf.tx(fee=100, vsize=100), arrival_time=0.0
+        )  # 1 sat/vB, 10 hours old
+        fresh_rich = MempoolEntry(
+            tx=txf.tx(fee=5000, vsize=100), arrival_time=36_000.0
+        )  # 50 sat/vB, fresh
+        template = AgedFeeRatePolicy(20.0).build([old_cheap, fresh_rich])
+        assert template.txids()[0] == old_cheap.txid
+
+    def test_empty(self):
+        assert len(AgedFeeRatePolicy().build([])) == 0
+
+
+class TestValueDensity:
+    def test_ranks_by_value_not_fee(self, txf):
+        poor_fee_big_value = MempoolEntry(
+            tx=txf.tx(fee=10, vsize=100, value=10**9), arrival_time=0.0
+        )
+        rich_fee_small_value = MempoolEntry(
+            tx=txf.tx(fee=9000, vsize=100, value=10), arrival_time=0.0
+        )
+        template = ValueDensityPolicy().build(
+            [rich_fee_small_value, poor_fee_big_value]
+        )
+        assert template.txids()[0] == poor_fee_big_value.txid
+
+
+class TestFairShare:
+    def test_low_band_gets_space_under_contention(self, txf):
+        low = [
+            MempoolEntry(tx=txf.tx(fee=200, vsize=100), arrival_time=float(i))
+            for i in range(10)
+        ]  # 2 sat/vB
+        high = [
+            MempoolEntry(tx=txf.tx(fee=50_000, vsize=100), arrival_time=float(i))
+            for i in range(10)
+        ]  # 500 sat/vB
+        template = FairShareRoundRobinPolicy().build(low + high, max_vsize=1000)
+        committed_rates = [tx.fee_rate for tx in template.transactions]
+        assert any(rate < 10 for rate in committed_rates)
+        assert any(rate > 100 for rate in committed_rates)
+
+    def test_pure_feerate_would_starve_low_band(self, txf):
+        low = [
+            MempoolEntry(tx=txf.tx(fee=200, vsize=100), arrival_time=float(i))
+            for i in range(10)
+        ]
+        high = [
+            MempoolEntry(tx=txf.tx(fee=50_000, vsize=100), arrival_time=float(i))
+            for i in range(10)
+        ]
+        template = FeeRatePolicy(package_selection=False).build(
+            low + high, max_vsize=1000
+        )
+        assert all(tx.fee_rate > 100 for tx in template.transactions)
+
+    def test_unused_share_redistributed(self, txf):
+        # Only high-fee traffic exists: it may use the whole block.
+        high = [
+            MempoolEntry(tx=txf.tx(fee=50_000, vsize=100), arrival_time=0.0)
+            for _ in range(10)
+        ]
+        template = FairShareRoundRobinPolicy().build(high, max_vsize=1000)
+        assert template.total_vsize == 1000
+
+
+class TestLottery:
+    def test_selection_is_fee_blind(self, txf):
+        entries = [
+            MempoolEntry(tx=txf.tx(fee=(i + 1) * 100, vsize=100), arrival_time=0.0)
+            for i in range(30)
+        ]
+        policy = RandomLotteryPolicy(rng=np.random.default_rng(3))
+        template = policy.build(entries, max_vsize=1500)
+        rates = [tx.fee_rate for tx in template.transactions]
+        assert rates != sorted(rates, reverse=True)
+
+    def test_candidate_norms_complete(self):
+        norms = candidate_norms()
+        assert set(norms) == {
+            "fee-rate",
+            "aged-fee-rate",
+            "value-density",
+            "fair-share",
+            "lottery",
+        }
+        assert all(hasattr(policy, "build") for policy in norms.values())
+
+
+class TestReplayer:
+    def _replayer(self, txf, count=30):
+        arrivals = [
+            (float(i * 10), txf.tx(fee=(i % 5 + 1) * 300, vsize=200))
+            for i in range(count)
+        ]
+        block_times = [100.0, 200.0, 300.0, 400.0]
+        return NormReplayer(arrivals, block_times, max_block_vsize=1200), arrivals
+
+    def test_replay_commits_under_capacity(self, txf):
+        replayer, _ = self._replayer(txf)
+        outcome = replayer.replay(FeeRatePolicy(package_selection=False))
+        # 4 blocks x 1000 vB budget / 200 vB = at most 20 commits.
+        assert 0 < len(outcome["delays"]) <= 20
+
+    def test_delays_start_at_one(self, txf):
+        replayer, _ = self._replayer(txf)
+        outcome = replayer.replay(FeeRatePolicy(package_selection=False))
+        assert min(outcome["delays"].values()) == 1
+
+    def test_revenue_accumulates(self, txf):
+        replayer, _ = self._replayer(txf)
+        outcome = replayer.replay(FeeRatePolicy(package_selection=False))
+        assert outcome["revenue"] > 0
+
+    def test_evaluate_norm_fields(self, txf):
+        replayer, _ = self._replayer(txf)
+        baseline = replayer.replay(FeeRatePolicy(package_selection=False))
+        evaluation = evaluate_norm(
+            "fee-rate",
+            FeeRatePolicy(package_selection=False),
+            replayer,
+            feerate_revenue=baseline["revenue"],
+        )
+        assert evaluation.revenue_vs_feerate_optimum == pytest.approx(1.0)
+        assert evaluation.committed == len(baseline["delays"])
+        assert evaluation.blocks == 4
+
+
+class TestNormVerifier:
+    def test_conformant_block_scores_high(self, txf):
+        txs = [txf.tx(fee=(30 - i) * 100, vsize=100) for i in range(20)]
+        block = make_test_block(txs)
+        verifier = NormVerifier({tx.txid: 0.0 for tx in txs})
+        result = verifier.verify(
+            "honest",
+            "fee-rate",
+            FeeRatePolicy(package_selection=False),
+            [block],
+            future_blocks=[block],
+        )
+        assert result.selection_agreement == pytest.approx(1.0)
+        assert result.ordering_agreement == pytest.approx(1.0)
+        assert result.conforms()
+
+    def test_reversed_block_scores_low_on_ordering(self, txf):
+        txs = [txf.tx(fee=(i + 1) * 100, vsize=100) for i in range(20)]
+        block = make_test_block(txs)  # ascending fee order = reversed norm
+        verifier = NormVerifier({tx.txid: 0.0 for tx in txs})
+        result = verifier.verify(
+            "reverser",
+            "fee-rate",
+            FeeRatePolicy(package_selection=False),
+            [block],
+            future_blocks=[block],
+        )
+        assert result.selection_agreement == pytest.approx(1.0)
+        assert result.ordering_agreement < 0.2
+        assert not result.conforms()
+
+    def test_sampling_limits_blocks(self, txf):
+        blocks = []
+        prev = "0" * 64
+        for height in range(6):
+            txs = [txf.tx(fee=(i + 1) * 100, vsize=100) for i in range(5)]
+            block = make_test_block(
+                txs, height=height, prev_hash=prev, timestamp=float(height)
+            )
+            blocks.append(block)
+            prev = block.block_hash
+        verifier = NormVerifier({})
+        result = verifier.verify(
+            "p",
+            "fee-rate",
+            FeeRatePolicy(package_selection=False),
+            blocks,
+            future_blocks=blocks,
+            sample=3,
+        )
+        assert result.blocks_checked == 3

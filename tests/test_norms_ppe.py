@@ -1,0 +1,158 @@
+"""Unit tests for the norm predictor and PPE/SPPE metrics."""
+
+import pytest
+
+from repro.core.norms import (
+    CpfpFilter,
+    filter_block_transactions,
+    percentile_ranks,
+    predict_block_positions,
+    predicted_order,
+    prediction_for,
+)
+from repro.core.ppe import (
+    PpeSummary,
+    block_ppe,
+    chain_ppe,
+    per_transaction_sppe,
+    sppe,
+    summarize_ppe,
+)
+
+from conftest import TxFactory, make_test_block
+
+
+@pytest.fixture
+def txf():
+    return TxFactory("ppe")
+
+
+def block_with_rates(txf, rates, vsize=100):
+    txs = [txf.tx(fee=int(rate * vsize), vsize=vsize, nonce=i) for i, rate in enumerate(rates)]
+    return make_test_block(txs), txs
+
+
+class TestPercentileRanks:
+    def test_bounds(self):
+        ranks = percentile_ranks(5)
+        assert ranks[0] == 0.0
+        assert ranks[-1] == 100.0
+
+    def test_single(self):
+        assert percentile_ranks(1) == [0.0]
+
+    def test_empty(self):
+        assert percentile_ranks(0) == []
+
+
+class TestPredictedOrder:
+    def test_sorts_by_fee_rate(self, txf):
+        _, txs = block_with_rates(txf, [5, 50, 20])
+        ordered = predicted_order(txs)
+        assert [t.fee_rate for t in ordered] == [50, 20, 5]
+
+    def test_stable_on_ties(self, txf):
+        _, txs = block_with_rates(txf, [10, 10, 10])
+        assert predicted_order(txs) == txs
+
+
+class TestBlockPpe:
+    def test_perfectly_ordered_block_has_zero_ppe(self, txf):
+        block, _ = block_with_rates(txf, [100, 50, 20, 10])
+        result = block_ppe(block)
+        assert result is not None
+        assert result.ppe == pytest.approx(0.0)
+
+    def test_reversed_block_has_max_ppe(self, txf):
+        block, _ = block_with_rates(txf, [10, 20, 50, 100])
+        result = block_ppe(block)
+        # Fully reversed order of 4 txs: mean |shift| = 2 of 3 ranks = 66.7%.
+        assert result.ppe == pytest.approx(200.0 / 3.0)
+
+    def test_empty_block_returns_none(self):
+        assert block_ppe(make_test_block([])) is None
+
+    def test_tie_blocks_score_zero_any_order(self, txf):
+        block, _ = block_with_rates(txf, [10, 10, 10, 10])
+        assert block_ppe(block).ppe == pytest.approx(0.0)
+
+    def test_cpfp_children_excluded_by_default(self, txf):
+        parent = txf.tx(fee=10, vsize=100, nonce=1)
+        child = txf.tx(fee=5000, vsize=100, parents=(parent.txid,), nonce=2)
+        # Observed order: parent then child (package placement).
+        block = make_test_block([parent, child])
+        predictions = predict_block_positions(block)
+        assert [p.txid for p in predictions] == [parent.txid]
+
+    def test_involved_filter_drops_parents_too(self, txf):
+        parent = txf.tx(fee=10, vsize=100, nonce=1)
+        child = txf.tx(fee=5000, vsize=100, parents=(parent.txid,), nonce=2)
+        block = make_test_block([parent, child])
+        assert filter_block_transactions(block, CpfpFilter.INVOLVED) == []
+
+    def test_none_filter_keeps_all(self, txf):
+        parent = txf.tx(fee=10, vsize=100, nonce=1)
+        child = txf.tx(fee=5000, vsize=100, parents=(parent.txid,), nonce=2)
+        block = make_test_block([parent, child])
+        assert len(filter_block_transactions(block, CpfpFilter.NONE)) == 2
+
+    def test_prediction_for(self, txf):
+        block, txs = block_with_rates(txf, [10, 100])
+        prediction = prediction_for(block, txs[0].txid)
+        assert prediction is not None
+        assert prediction.signed_error == pytest.approx(100.0 - 0.0)
+        assert prediction_for(block, "missing") is None
+
+    def test_chain_ppe_skips_empty_blocks(self, txf):
+        block, _ = block_with_rates(txf, [10, 100])
+        empty = make_test_block([], height=0)
+        results = chain_ppe([empty, block])
+        assert len(results) == 1
+
+    def test_summary(self, txf):
+        blocks = [block_with_rates(txf, [100, 50])[0]]
+        summary = summarize_ppe(chain_ppe(blocks))
+        assert summary.block_count == 1
+        assert summary.mean == pytest.approx(0.0)
+
+    def test_summary_empty(self):
+        summary = PpeSummary.from_values([])
+        assert summary.block_count == 0
+
+
+class TestSppe:
+    def test_lifted_transaction_positive_sppe(self, txf):
+        # A low-fee tx observed at the top: predicted bottom (100), observed 0.
+        cheap = txf.tx(fee=10, vsize=100, nonce=1)
+        rich1 = txf.tx(fee=1000, vsize=100, nonce=2)
+        rich2 = txf.tx(fee=900, vsize=100, nonce=3)
+        block = make_test_block([cheap, rich1, rich2])
+        result = sppe([block], [cheap.txid])
+        assert result.tx_count == 1
+        assert result.sppe == pytest.approx(100.0)
+        assert result.accelerated_fraction == 1.0
+
+    def test_buried_transaction_negative_sppe(self, txf):
+        rich = txf.tx(fee=1000, vsize=100, nonce=1)
+        cheap1 = txf.tx(fee=10, vsize=100, nonce=2)
+        cheap2 = txf.tx(fee=20, vsize=100, nonce=3)
+        block = make_test_block([cheap1, cheap2, rich])
+        result = sppe([block], [rich.txid])
+        assert result.sppe == pytest.approx(-100.0)
+
+    def test_honest_position_zero_sppe(self, txf):
+        block, txs = block_with_rates(txf, [100, 50, 10])
+        result = sppe([block], [txs[1].txid])
+        assert result.sppe == pytest.approx(0.0)
+
+    def test_absent_target_returns_nan(self, txf):
+        block, _ = block_with_rates(txf, [100, 50])
+        result = sppe([block], ["missing"])
+        assert result.tx_count == 0
+        assert result.sppe != result.sppe  # NaN
+
+    def test_per_transaction_sppe_covers_block(self, txf):
+        block, txs = block_with_rates(txf, [100, 50, 10])
+        errors = per_transaction_sppe([block])
+        assert set(errors) == {t.txid for t in txs}
+        assert all(e == pytest.approx(0.0) for e in errors.values())

@@ -1,0 +1,202 @@
+"""Unit tests for ordering policies and misbehaviour wrappers."""
+
+import numpy as np
+import pytest
+
+from repro.mempool.mempool import MempoolEntry
+from repro.mining.gbt import is_topologically_valid
+from repro.mining.policies import (
+    CensorPolicy,
+    FeeRatePolicy,
+    JitterSource,
+    MinFeeRatePolicy,
+    NoisyPolicy,
+    PriorityPolicy,
+    PrioritizeSetPolicy,
+    address_predicate,
+    pseudo_coin_age,
+    txid_set_predicate,
+)
+
+from conftest import TxFactory
+
+
+@pytest.fixture
+def txf():
+    return TxFactory("policies")
+
+
+def entries(txf, specs):
+    out = []
+    for index, (fee, vsize) in enumerate(specs):
+        out.append(
+            MempoolEntry(tx=txf.tx(fee=fee, vsize=vsize), arrival_time=float(index))
+        )
+    return out
+
+
+class TestFeeRatePolicy:
+    def test_greedy_mode_sorted(self, txf):
+        policy = FeeRatePolicy(package_selection=False)
+        template = policy.build(entries(txf, [(100, 100), (300, 100), (200, 100)]))
+        rates = [tx.fee_rate for tx in template.transactions]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_package_mode_handles_dependencies(self, txf):
+        parent = txf.tx(fee=5, vsize=100, nonce=1)
+        child = txf.tx(fee=900, vsize=100, parents=(parent.txid,), nonce=2)
+        policy = FeeRatePolicy(package_selection=True)
+        template = policy.build(
+            [
+                MempoolEntry(tx=parent, arrival_time=0.0),
+                MempoolEntry(tx=child, arrival_time=1.0),
+            ]
+        )
+        assert is_topologically_valid(template.transactions)
+        assert len(template) == 2
+
+
+class TestPriorityPolicy:
+    def test_orders_by_priority_not_fee(self, txf):
+        policy = PriorityPolicy()
+        entry_list = entries(txf, [(10_000, 100), (10, 100), (5000, 100)])
+        template = policy.build(entry_list)
+        priorities = [policy.priority(tx) for tx in template.transactions]
+        assert priorities == sorted(priorities, reverse=True)
+
+    def test_priority_uncorrelated_with_fee_rate(self, txf):
+        # Build many transactions with identical priority inputs but
+        # varying fees: ordering must not follow fees.
+        policy = PriorityPolicy()
+        entry_list = entries(txf, [(100 * (i + 1), 100) for i in range(30)])
+        template = policy.build(entry_list)
+        rates = [tx.fee_rate for tx in template.transactions]
+        assert rates != sorted(rates, reverse=True)
+
+    def test_pseudo_coin_age_deterministic_and_bounded(self):
+        assert pseudo_coin_age("abc") == pseudo_coin_age("abc")
+        assert 0.0 <= pseudo_coin_age("abc") < 1.0
+        assert pseudo_coin_age("abc") != pseudo_coin_age("abd")
+
+    def test_respects_budget(self, txf):
+        policy = PriorityPolicy()
+        template = policy.build(entries(txf, [(100, 400)] * 5), max_vsize=900)
+        assert template.total_vsize <= 900
+
+
+class TestPrioritizeSetPolicy:
+    def test_boosted_set_goes_first(self, txf):
+        cheap_special = txf.tx(fee=10, vsize=100, to_address="vip", nonce=1)
+        rich_normal = txf.tx(fee=9000, vsize=100, nonce=2)
+        policy = PrioritizeSetPolicy(
+            base=FeeRatePolicy(package_selection=False),
+            boost=address_predicate(frozenset({"vip"})),
+        )
+        template = policy.build(
+            [
+                MempoolEntry(tx=cheap_special, arrival_time=0.0),
+                MempoolEntry(tx=rich_normal, arrival_time=0.0),
+            ]
+        )
+        assert template.txids()[0] == cheap_special.txid
+
+    def test_boosted_sorted_by_fee_rate_internally(self, txf):
+        a = txf.tx(fee=10, vsize=100, to_address="vip", nonce=1)
+        b = txf.tx(fee=500, vsize=100, to_address="vip", nonce=2)
+        policy = PrioritizeSetPolicy(
+            base=FeeRatePolicy(package_selection=False),
+            boost=address_predicate(frozenset({"vip"})),
+        )
+        template = policy.build(
+            [
+                MempoolEntry(tx=a, arrival_time=0.0),
+                MempoolEntry(tx=b, arrival_time=0.0),
+            ]
+        )
+        assert template.txids() == [b.txid, a.txid]
+
+    def test_budget_shared_between_head_and_tail(self, txf):
+        vip = txf.tx(fee=10, vsize=400, to_address="vip", nonce=1)
+        normal = txf.tx(fee=9000, vsize=400, nonce=2)
+        policy = PrioritizeSetPolicy(
+            base=FeeRatePolicy(package_selection=False),
+            boost=address_predicate(frozenset({"vip"})),
+        )
+        template = policy.build(
+            [
+                MempoolEntry(tx=vip, arrival_time=0.0),
+                MempoolEntry(tx=normal, arrival_time=0.0),
+            ],
+            max_vsize=500,
+        )
+        assert template.txids() == [vip.txid]
+        assert template.total_vsize <= 500
+
+    def test_txid_set_predicate_is_live(self, txf):
+        book: set[str] = set()
+        predicate = txid_set_predicate(lambda: frozenset(book))
+        tx = txf.tx()
+        entry = MempoolEntry(tx=tx, arrival_time=0.0)
+        assert not predicate(entry)
+        book.add(tx.txid)
+        assert predicate(entry)
+
+
+class TestCensorPolicy:
+    def test_banned_transactions_excluded(self, txf):
+        banned_tx = txf.tx(fee=10_000, vsize=100, to_address="evil", nonce=1)
+        normal = txf.tx(fee=100, vsize=100, nonce=2)
+        policy = CensorPolicy(
+            base=FeeRatePolicy(package_selection=False),
+            banned=address_predicate(frozenset({"evil"})),
+        )
+        template = policy.build(
+            [
+                MempoolEntry(tx=banned_tx, arrival_time=0.0),
+                MempoolEntry(tx=normal, arrival_time=0.0),
+            ]
+        )
+        assert template.txids() == [normal.txid]
+
+
+class TestMinFeeRatePolicy:
+    def test_floor_filters(self, txf):
+        policy = MinFeeRatePolicy(base=FeeRatePolicy(package_selection=False), floor=1.0)
+        template = policy.build(entries(txf, [(0, 100), (500, 100)]))
+        assert len(template) == 1
+
+    def test_zero_floor_admits_zero_fee(self, txf):
+        policy = MinFeeRatePolicy(base=FeeRatePolicy(package_selection=False), floor=0.0)
+        template = policy.build(entries(txf, [(0, 100)]))
+        assert len(template) == 1
+
+
+class TestNoisyPolicy:
+    def _policy(self, jitter, seed=0):
+        return NoisyPolicy(
+            base_jitter_source=JitterSource(rng=np.random.default_rng(seed)),
+            base=FeeRatePolicy(package_selection=False),
+            jitter=jitter,
+        )
+
+    def test_zero_jitter_matches_base(self, txf):
+        entry_list = entries(txf, [(i * 10 + 10, 100) for i in range(10)])
+        noisy = self._policy(jitter=0.0).build(entry_list)
+        clean = FeeRatePolicy(package_selection=False).build(entry_list)
+        assert noisy.txids() == clean.txids()
+
+    def test_jitter_perturbs_order_but_keeps_set(self, txf):
+        entry_list = entries(txf, [(i * 10 + 10, 100) for i in range(30)])
+        noisy = self._policy(jitter=3.0).build(entry_list)
+        clean = FeeRatePolicy(package_selection=False).build(entry_list)
+        assert set(noisy.txids()) == set(clean.txids())
+        assert noisy.txids() != clean.txids()
+
+    def test_jitter_keeps_topological_validity(self, txf):
+        parent = txf.tx(fee=100, vsize=100, nonce=1)
+        child = txf.tx(fee=110, vsize=100, parents=(parent.txid,), nonce=2)
+        others = [txf.tx(fee=100 + i, vsize=100, nonce=10 + i) for i in range(10)]
+        entry_list = [MempoolEntry(tx=t, arrival_time=0.0) for t in [parent, child] + others]
+        for seed in range(5):
+            template = self._policy(jitter=4.0, seed=seed).build(entry_list)
+            assert is_topologically_valid(template.transactions)

@@ -1,0 +1,172 @@
+"""Unit tests for mining pools and block attribution."""
+
+import pytest
+
+from repro.chain.attribution import (
+    UNKNOWN_POOL,
+    PoolAttributor,
+    PoolDirectory,
+    blocks_by_pool,
+    estimate_hash_rates,
+    top_pools,
+)
+from repro.chain.blockchain import Blockchain
+from repro.chain.constants import COIN, block_subsidy
+from repro.mempool.mempool import MempoolEntry
+from repro.mining.pool import (
+    DATASET_C_POOLS,
+    MiningPool,
+    make_directory,
+    make_pools,
+    normalize_hash_shares,
+)
+
+from conftest import TxFactory, make_test_block
+
+
+@pytest.fixture
+def txf():
+    return TxFactory("pool")
+
+
+class TestMiningPool:
+    def test_reward_addresses_minted(self):
+        pool = MiningPool(name="P", marker="/P/", hash_share=0.1, reward_address_count=5)
+        assert len(pool.reward_addresses) == 5
+        assert len(set(pool.reward_addresses)) == 5
+
+    def test_reward_address_rotation(self):
+        pool = MiningPool(name="P", marker="/P/", hash_share=0.1, reward_address_count=2)
+        seq = [pool.next_reward_address() for _ in range(4)]
+        assert seq[0] == seq[2] and seq[1] == seq[3] and seq[0] != seq[1]
+
+    def test_invalid_share_rejected(self):
+        with pytest.raises(ValueError):
+            MiningPool(name="P", marker="/P/", hash_share=1.5)
+
+    def test_invalid_wallet_count_rejected(self):
+        with pytest.raises(ValueError):
+            MiningPool(name="P", marker="/P/", hash_share=0.1, reward_address_count=0)
+
+    def test_assemble_block(self, txf):
+        pool = MiningPool(name="P", marker="/P/", hash_share=0.1)
+        entries = [
+            MempoolEntry(tx=txf.tx(fee=500, vsize=200), arrival_time=0.0)
+        ]
+        block = pool.assemble_block(
+            height=0, prev_hash="0" * 64, timestamp=1.0, entries=entries
+        )
+        assert block.tx_count == 1
+        assert block.coinbase.marker == "/P/"
+        assert block.coinbase.output_value == block_subsidy(0) + 500
+        assert pool.blocks_mined == 1
+
+    def test_assemble_empty_block(self):
+        pool = MiningPool(name="P", marker="/P/", hash_share=0.1)
+        block = pool.assemble_block(
+            height=0, prev_hash="0" * 64, timestamp=1.0, entries=[]
+        )
+        assert block.is_empty
+
+    def test_normalize_hash_shares(self):
+        pools = [
+            MiningPool(name="A", marker="/A/", hash_share=0.2),
+            MiningPool(name="B", marker="/B/", hash_share=0.6),
+        ]
+        shares = normalize_hash_shares(pools)
+        assert sum(shares) == pytest.approx(1.0)
+        assert shares[1] == pytest.approx(0.75)
+
+    def test_make_pools_from_profile(self):
+        pools = make_pools(DATASET_C_POOLS[:5])
+        assert [p.name for p in pools] == [name for name, _ in DATASET_C_POOLS[:5]]
+        assert all(p.marker == f"/{p.name}/" for p in pools)
+
+
+class TestAttribution:
+    def _pool_and_block(self, txf, marker="/P/", name="P"):
+        pool = MiningPool(name=name, marker=marker, hash_share=0.1)
+        block = pool.assemble_block(
+            height=0, prev_hash="0" * 64, timestamp=1.0, entries=[]
+        )
+        return pool, block
+
+    def test_marker_attribution(self, txf):
+        pool, block = self._pool_and_block(txf)
+        attributor = PoolAttributor(make_directory([pool]))
+        assert attributor.attribute(block) == "P"
+
+    def test_substring_marker_match(self, txf):
+        directory = PoolDirectory()
+        directory.register_pool("F2Pool", marker="/F2Pool/")
+        pool = MiningPool(name="x", marker="/F2Pool/mined by user/", hash_share=0.1)
+        block = pool.assemble_block(0, "0" * 64, 1.0, [])
+        assert PoolAttributor(directory).attribute(block) == "F2Pool"
+
+    def test_unknown_when_unregistered(self, txf):
+        pool, block = self._pool_and_block(txf)
+        attributor = PoolAttributor(PoolDirectory())
+        assert attributor.attribute(block) == UNKNOWN_POOL
+
+    def test_address_fallback(self, txf):
+        pool = MiningPool(name="P", marker="", hash_share=0.1)
+        block = pool.assemble_block(0, "0" * 64, 1.0, [])
+        directory = PoolDirectory()
+        directory.register_pool("P", addresses=pool.reward_addresses)
+        assert PoolAttributor(directory).attribute(block) == "P"
+
+    def test_address_learning(self, txf):
+        # First block carries a marker; the second (markerless, same
+        # wallet) attributes via the learned address.
+        pool = MiningPool(name="P", marker="/P/", hash_share=0.1, reward_address_count=1)
+        directory = PoolDirectory()
+        directory.register_pool("P", marker="/P/")
+        attributor = PoolAttributor(directory)
+        first = pool.assemble_block(0, "0" * 64, 1.0, [])
+        assert attributor.attribute(first) == "P"
+        markerless = MiningPool(
+            name="P2",
+            marker="",
+            hash_share=0.1,
+            reward_addresses=list(pool.reward_addresses),
+        )
+        second = markerless.assemble_block(1, first.block_hash, 2.0, [])
+        assert attributor.attribute(second) == "P"
+
+    def test_alias_resolution(self, txf):
+        directory = PoolDirectory()
+        directory.register_pool("BitDeer", marker="/BitDeer/")
+        directory.register_pool("BTC.com", marker="/BTC.com/")
+        directory.register_alias("BitDeer", "BTC.com")
+        pool = MiningPool(name="BitDeer", marker="/BitDeer/", hash_share=0.1)
+        block = pool.assemble_block(0, "0" * 64, 1.0, [])
+        assert PoolAttributor(directory).attribute(block) == "BTC.com"
+
+    def test_unregistered_pool_excluded_from_directory(self):
+        ghost = MiningPool(name="g", marker="/g/", hash_share=0.1, registered=False)
+        directory = make_directory([ghost])
+        assert "/g/" not in directory.markers
+
+    def test_hash_rate_estimates(self):
+        labels = ["A"] * 6 + ["B"] * 3 + ["C"]
+        estimates = estimate_hash_rates(labels)
+        assert estimates[0].pool == "A"
+        assert estimates[0].share == pytest.approx(0.6)
+        assert sum(e.share for e in estimates) == pytest.approx(1.0)
+
+    def test_top_pools_excludes_unknown(self):
+        labels = ["A"] * 5 + [UNKNOWN_POOL] * 5
+        top = top_pools(labels, count=3)
+        assert [e.pool for e in top] == ["A"]
+
+    def test_blocks_by_pool(self, txf):
+        pool_a = MiningPool(name="A", marker="/A/", hash_share=0.5)
+        pool_b = MiningPool(name="B", marker="/B/", hash_share=0.5)
+        chain = Blockchain()
+        block_a = pool_a.assemble_block(0, chain.tip_hash, 1.0, [])
+        chain.append(block_a)
+        block_b = pool_b.assemble_block(1, chain.tip_hash, 2.0, [])
+        chain.append(block_b)
+        attributor = PoolAttributor(make_directory([pool_a, pool_b]))
+        grouped = blocks_by_pool(chain, attributor)
+        assert {p: len(bs) for p, bs in grouped.items()} == {"A": 1, "B": 1}

@@ -1,0 +1,90 @@
+"""Property-based tests for PPE/SPPE and the norm predictor."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.norms import CpfpFilter, percentile_ranks, predict_block_positions
+from repro.core.ppe import block_ppe, per_transaction_sppe, sppe
+
+from conftest import TxFactory, make_test_block
+
+fee_lists = st.lists(
+    st.integers(min_value=1, max_value=10_000_000), min_size=1, max_size=40
+)
+
+
+def block_from_fees(fees):
+    txf = TxFactory("prop-ppe")
+    txs = [txf.tx(fee=fee, vsize=100, nonce=i) for i, fee in enumerate(fees)]
+    return make_test_block(txs), txs
+
+
+@given(fees=fee_lists)
+def test_ppe_bounded(fees):
+    block, _ = block_from_fees(fees)
+    result = block_ppe(block, CpfpFilter.NONE)
+    assert result is not None
+    assert 0.0 <= result.ppe <= 100.0
+
+
+@given(fees=fee_lists)
+def test_sorted_block_has_zero_ppe(fees):
+    block, _ = block_from_fees(sorted(fees, reverse=True))
+    result = block_ppe(block, CpfpFilter.NONE)
+    assert result.ppe == pytest.approx(0.0)
+
+
+@given(fees=fee_lists)
+def test_signed_errors_sum_to_zero_over_block(fees):
+    # Percentile ranks are a permutation in both orders, so the signed
+    # errors cancel exactly when summed over the whole block.
+    block, _ = block_from_fees(fees)
+    errors = per_transaction_sppe([block], CpfpFilter.NONE)
+    assert sum(errors.values()) == pytest.approx(0.0, abs=1e-6)
+
+
+@given(fees=fee_lists)
+def test_predictions_are_rank_permutations(fees):
+    block, _ = block_from_fees(fees)
+    predictions = predict_block_positions(block, CpfpFilter.NONE)
+    ranks = percentile_ranks(len(predictions))
+    assert sorted(p.observed_rank for p in predictions) == pytest.approx(ranks)
+    assert sorted(p.predicted_rank for p in predictions) == pytest.approx(ranks)
+
+
+@given(fees=fee_lists)
+def test_predicted_ranks_decrease_with_fee_rate(fees):
+    block, _ = block_from_fees(fees)
+    predictions = predict_block_positions(block, CpfpFilter.NONE)
+    ordered = sorted(predictions, key=lambda p: -p.fee_rate)
+    ranks = [p.predicted_rank for p in ordered]
+    assert ranks == sorted(ranks)
+
+
+@given(fees=st.lists(st.integers(min_value=1, max_value=1000), min_size=2, max_size=20))
+def test_sppe_of_all_txs_is_zero_mean(fees):
+    block, txs = block_from_fees(fees)
+    result = sppe([block], [t.txid for t in txs], CpfpFilter.NONE)
+    assert result.tx_count == len(txs)
+    assert result.sppe == pytest.approx(0.0, abs=1e-6)
+
+
+@settings(max_examples=30)
+@given(
+    count=st.integers(min_value=2, max_value=20),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_reversed_sorted_block_signed_errors(count, seed):
+    # For a block mined in *reverse* fee-rate order, a transaction with
+    # predicted rank p sits at observed rank 100-p, so its signed error
+    # is exactly 2p - 100 (top tx: -100, bottom tx: +100).
+    txf = TxFactory(f"prop-sym-{seed}")
+    txs = [
+        txf.tx(fee=(count - i) * 1000 + seed, vsize=100, nonce=i)
+        for i in range(count)
+    ]  # distinct, strictly decreasing fee-rates
+    backward = make_test_block(list(reversed(txs)))
+    errors = per_transaction_sppe([backward], CpfpFilter.NONE)
+    ranks = percentile_ranks(count)
+    for predicted_rank, tx in zip(ranks, txs):
+        assert errors[tx.txid] == pytest.approx(2 * predicted_rank - 100.0, abs=1e-6)

@@ -1,0 +1,89 @@
+"""Property-based tests for the binomial prioritization tests."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy.stats import binom as scipy_binom
+
+from repro.core.stattests import (
+    binom_tail_lower,
+    binom_tail_upper,
+    fishers_method,
+    log_binom_pmf,
+    prioritization_test,
+)
+
+ns = st.integers(min_value=1, max_value=400)
+ps = st.floats(min_value=0.001, max_value=0.999)
+
+
+@given(n=ns, p=ps, x=st.integers(min_value=-2, max_value=420))
+def test_tails_are_probabilities(n, p, x):
+    upper = binom_tail_upper(x, n, p)
+    lower = binom_tail_lower(x, n, p)
+    assert 0.0 <= upper <= 1.0
+    assert 0.0 <= lower <= 1.0
+
+
+@settings(deadline=None, max_examples=40)
+@given(n=st.integers(min_value=1, max_value=150), p=ps)
+def test_tail_complement_identity(n, p):
+    # P(B >= x) + P(B <= x-1) == 1 for every x.
+    for x in range(0, n + 1):
+        total = binom_tail_upper(x, n, p) + binom_tail_lower(x - 1, n, p)
+        assert total == pytest.approx(1.0, abs=1e-9)
+
+
+@given(n=st.integers(min_value=2, max_value=200), p=ps)
+def test_upper_tail_monotone_decreasing_in_x(n, p):
+    values = [binom_tail_upper(x, n, p) for x in range(0, n + 2)]
+    assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+
+
+@given(n=st.integers(min_value=2, max_value=200), p=ps)
+def test_lower_tail_monotone_increasing_in_x(n, p):
+    values = [binom_tail_lower(x, n, p) for x in range(-1, n + 1)]
+    assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+
+
+@settings(max_examples=50)
+@given(n=st.integers(min_value=1, max_value=300), p=ps, x=st.integers(min_value=0, max_value=300))
+def test_matches_scipy_in_log_space(n, p, x):
+    x = min(x, n)
+    ours = binom_tail_upper(x, n, p)
+    reference = float(scipy_binom.sf(x - 1, n, p))
+    if reference > 1e-280 and ours > 1e-280:
+        assert math.log(ours) == pytest.approx(math.log(reference), abs=1e-6)
+    else:
+        assert ours <= 1e-270 and reference <= 1e-270
+
+
+@settings(deadline=None, max_examples=40)
+@given(n=st.integers(min_value=1, max_value=150), p=ps, k=st.integers(min_value=0, max_value=400))
+def test_pmf_normalised(n, p, k):
+    # Summing the pmf over all k gives 1.
+    total = sum(math.exp(log_binom_pmf(i, n, p)) for i in range(n + 1))
+    assert total == pytest.approx(1.0, abs=1e-9)
+
+
+@given(
+    x=st.integers(min_value=0, max_value=50),
+    extra=st.integers(min_value=0, max_value=50),
+    theta=st.floats(min_value=0.05, max_value=0.9),
+)
+def test_more_own_blocks_never_raises_acceleration_p(x, extra, theta):
+    y = x + extra
+    if y == 0:
+        return
+    base = prioritization_test("m", theta, ["m"] * x + ["o"] * extra)
+    if x < y:
+        shifted = prioritization_test("m", theta, ["m"] * (x + 1) + ["o"] * (extra - 1))
+        assert shifted.p_accelerate <= base.p_accelerate + 1e-12
+        assert shifted.p_decelerate >= base.p_decelerate - 1e-12
+
+
+@given(ps_list=st.lists(st.floats(min_value=1e-6, max_value=1.0), min_size=1, max_size=8))
+def test_fisher_output_is_probability(ps_list):
+    combined = fishers_method(ps_list)
+    assert 0.0 <= combined <= 1.0

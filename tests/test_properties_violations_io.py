@@ -1,0 +1,111 @@
+"""Property-based tests: violation counting and serialization round trips."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.chain.blockchain import Blockchain
+from repro.core.violations import analyze_snapshot, count_violations, SnapshotView
+from repro.datasets.dataset import Dataset
+from repro.datasets.io import dataset_from_dict, dataset_to_dict
+from repro.datasets.records import TxRecord
+from repro.mempool.snapshots import SnapshotStore
+
+from conftest import TxFactory, make_test_block
+
+
+# ----------------------------------------------------------------------
+# Violation counting
+# ----------------------------------------------------------------------
+def random_view(seed, count):
+    rng = np.random.default_rng(seed)
+    return SnapshotView(
+        time=0.0,
+        txids=tuple(f"t{i}" for i in range(count)),
+        arrival_times=rng.uniform(0, 1000, count),
+        fee_rates=rng.uniform(1, 500, count),
+        commit_heights=rng.integers(0, 50, count),
+    )
+
+
+@settings(max_examples=40)
+@given(seed=st.integers(0, 10_000), count=st.integers(0, 80))
+def test_violating_bounded_by_eligible_bounded_by_total(seed, count):
+    view = random_view(seed, count)
+    stats = analyze_snapshot(view)
+    assert 0 <= stats.violating_pairs <= stats.eligible_pairs
+    # Eligible pairs are ordered one way only, so at most C(n, 2).
+    assert stats.eligible_pairs <= stats.total_pairs
+
+
+@settings(max_examples=30)
+@given(seed=st.integers(0, 10_000), count=st.integers(0, 60))
+def test_epsilon_monotonicity(seed, count):
+    view = random_view(seed, count)
+    previous = None
+    for epsilon in (0.0, 1.0, 10.0, 100.0, 1000.0):
+        stats = analyze_snapshot(view, epsilon)
+        if previous is not None:
+            assert stats.violating_pairs <= previous.violating_pairs
+            assert stats.eligible_pairs <= previous.eligible_pairs
+        previous = stats
+
+
+@settings(max_examples=30)
+@given(seed=st.integers(0, 10_000), count=st.integers(1, 60))
+def test_norm_conformant_commits_have_no_violations(seed, count):
+    # If commit height strictly follows fee-rate (richer first), no pair
+    # can violate.
+    rng = np.random.default_rng(seed)
+    rates = rng.uniform(1, 500, count)
+    order = np.argsort(-rates)
+    heights = np.empty(count, dtype=np.int64)
+    heights[order] = np.arange(count)
+    eligible, violating = count_violations(
+        rng.uniform(0, 100, count), rates, heights
+    )
+    assert violating == 0
+
+
+# ----------------------------------------------------------------------
+# Serialization round trips over randomly generated datasets
+# ----------------------------------------------------------------------
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000), blocks=st.integers(1, 5))
+def test_random_dataset_round_trip(seed, blocks):
+    rng = np.random.default_rng(seed)
+    txf = TxFactory(f"prop-io-{seed}")
+    chain = Blockchain()
+    records = {}
+    for height in range(blocks):
+        txs = [
+            txf.tx(fee=int(rng.integers(1, 10_000)), vsize=int(rng.integers(100, 500)))
+            for _ in range(int(rng.integers(0, 6)))
+        ]
+        block = make_test_block(
+            txs, height=height, prev_hash=chain.tip_hash, timestamp=float(height)
+        )
+        chain.append(block)
+        for position, tx in enumerate(txs):
+            records[tx.txid] = TxRecord(
+                txid=tx.txid,
+                broadcast_time=float(rng.uniform(0, height + 1)),
+                observer_arrival=None if rng.random() < 0.3 else float(height),
+                fee=tx.fee,
+                vsize=tx.vsize,
+                commit_height=height,
+                commit_position=position,
+                labels=frozenset({"scam"}) if rng.random() < 0.2 else frozenset(),
+            )
+    dataset = Dataset(
+        name=f"prop-{seed}",
+        chain=chain,
+        snapshots=SnapshotStore([]),
+        tx_records=records,
+        block_pools={h: f"pool{h % 3}" for h in range(blocks)},
+    )
+    restored = dataset_from_dict(dataset_to_dict(dataset))
+    assert restored.chain.tip_hash == dataset.chain.tip_hash
+    assert restored.tx_records == dataset.tx_records
+    assert restored.block_pools == dataset.block_pools
+    assert restored.summary() == dataset.summary()

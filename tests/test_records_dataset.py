@@ -1,0 +1,181 @@
+"""Unit tests for dataset records and the Dataset container."""
+
+import pytest
+
+from repro.chain.blockchain import Blockchain
+from repro.datasets.dataset import Dataset
+from repro.datasets.records import (
+    LABEL_SCAM,
+    LABEL_SELF_INTEREST,
+    BlockRecord,
+    TxRecord,
+    label_value,
+    make_label,
+)
+from repro.mempool.snapshots import SnapshotStore
+
+from conftest import TxFactory, make_test_block
+
+
+@pytest.fixture
+def txf():
+    return TxFactory("dataset")
+
+
+class TestLabels:
+    def test_make_and_parse(self):
+        label = make_label(LABEL_SELF_INTEREST, "F2Pool")
+        assert label == "self-interest:F2Pool"
+        assert label_value(label, LABEL_SELF_INTEREST) == "F2Pool"
+        assert label_value(label, LABEL_SCAM) is None
+
+    def test_bare_label(self):
+        assert make_label(LABEL_SCAM) == "scam"
+        assert label_value("scam", LABEL_SCAM) == ""
+
+
+class TestTxRecord:
+    def _record(self, **kwargs):
+        defaults = dict(
+            txid="t",
+            broadcast_time=0.0,
+            observer_arrival=1.0,
+            fee=500,
+            vsize=250,
+            commit_height=3,
+            commit_position=0,
+            labels=frozenset({"self-interest:F2Pool", "scam"}),
+        )
+        defaults.update(kwargs)
+        return TxRecord(**defaults)
+
+    def test_fee_rate(self):
+        assert self._record().fee_rate == pytest.approx(2.0)
+
+    def test_committed_and_observed_flags(self):
+        assert self._record().committed
+        assert not self._record(commit_height=None).committed
+        assert not self._record(observer_arrival=None).observed
+
+    def test_has_label(self):
+        record = self._record()
+        assert record.has_label(LABEL_SELF_INTEREST)
+        assert record.has_label(LABEL_SELF_INTEREST, "F2Pool")
+        assert not record.has_label(LABEL_SELF_INTEREST, "ViaBTC")
+        assert record.has_label(LABEL_SCAM)
+
+    def test_label_values(self):
+        assert self._record().label_values(LABEL_SELF_INTEREST) == ["F2Pool"]
+
+
+class TestBlockRecord:
+    def test_fee_share(self):
+        record = BlockRecord(
+            height=0,
+            block_hash="h",
+            timestamp=0.0,
+            pool="P",
+            tx_count=2,
+            vsize=1000,
+            total_fees=250,
+            subsidy=750,
+        )
+        assert record.fee_share_of_revenue == pytest.approx(0.25)
+        assert not record.is_empty
+
+
+def build_small_dataset(txf):
+    wallet_tx = txf.tx(to_address="pool-wallet", fee=300, vsize=100, nonce=1)
+    plain_tx = txf.tx(fee=900, vsize=100, nonce=2)
+    scam_tx = txf.tx(fee=400, vsize=100, nonce=3)
+    chain = Blockchain()
+    block0 = make_test_block([wallet_tx, plain_tx], height=0, timestamp=10.0)
+    chain.append(block0)
+    block1 = make_test_block(
+        [scam_tx], height=1, prev_hash=chain.tip_hash, timestamp=20.0
+    )
+    chain.append(block1)
+    records = {
+        wallet_tx.txid: TxRecord(
+            wallet_tx.txid, 0.0, 0.5, 300, 100, 0, 0,
+            frozenset({make_label(LABEL_SELF_INTEREST, "P")}),
+        ),
+        plain_tx.txid: TxRecord(plain_tx.txid, 1.0, 1.5, 900, 100, 0, 1),
+        scam_tx.txid: TxRecord(
+            scam_tx.txid, 2.0, None, 400, 100, 1, 0, frozenset({LABEL_SCAM})
+        ),
+    }
+    dataset = Dataset(
+        name="small",
+        chain=chain,
+        snapshots=SnapshotStore([]),
+        tx_records=records,
+        block_pools={0: "P", 1: "Q"},
+        pool_wallets={"P": frozenset({"pool-wallet"})},
+    )
+    return dataset, wallet_tx, plain_tx, scam_tx
+
+
+class TestDataset:
+    def test_summary_counts(self, txf):
+        dataset, *_ = build_small_dataset(txf)
+        summary = dataset.summary()
+        assert summary["blocks"] == 2
+        assert summary["transactions_issued"] == 3
+        assert summary["transactions_committed"] == 3
+
+    def test_blocks_of_pool(self, txf):
+        dataset, *_ = build_small_dataset(txf)
+        assert [b.height for b in dataset.blocks_of("P")] == [0]
+        assert dataset.blocks_of("missing") == []
+
+    def test_hash_rates(self, txf):
+        dataset, *_ = build_small_dataset(txf)
+        assert dataset.hash_rate_of("P") == pytest.approx(0.5)
+        assert dataset.hash_rate_of("nobody") == 0.0
+
+    def test_commit_heights_and_fee_rates(self, txf):
+        dataset, wallet_tx, *_ = build_small_dataset(txf)
+        assert dataset.commit_heights()[wallet_tx.txid] == 0
+        assert dataset.fee_rates()[wallet_tx.txid] == pytest.approx(3.0)
+
+    def test_commit_pools(self, txf):
+        dataset, wallet_tx, _, scam_tx = build_small_dataset(txf)
+        pools = dataset.commit_pools()
+        assert pools[wallet_tx.txid] == "P"
+        assert pools[scam_tx.txid] == "Q"
+
+    def test_labelled_sets(self, txf):
+        dataset, wallet_tx, _, scam_tx = build_small_dataset(txf)
+        assert dataset.self_interest_txids("P") == {wallet_tx.txid}
+        assert dataset.self_interest_txids("Q") == frozenset()
+        assert dataset.scam_txids() == {scam_tx.txid}
+
+    def test_inferred_self_interest(self, txf):
+        dataset, wallet_tx, *_ = build_small_dataset(txf)
+        inferred = dataset.inferred_self_interest_txids("P")
+        assert wallet_tx.txid in inferred
+        assert dataset.inferred_self_interest_txids("no-wallets") == frozenset()
+
+    def test_c_block_miners(self, txf):
+        dataset, wallet_tx, _, scam_tx = build_small_dataset(txf)
+        assert dataset.c_block_miners([wallet_tx.txid, scam_tx.txid]) == ["P", "Q"]
+        # Blocks count once even with multiple c-txs.
+        assert dataset.c_block_miners(
+            [wallet_tx.txid, wallet_tx.txid]
+        ) == ["P"]
+
+    def test_observed_committed_records(self, txf):
+        dataset, *_ = build_small_dataset(txf)
+        rows = dataset.observed_committed_records()
+        assert len(rows) == 2  # scam tx was never observed
+
+    def test_block_records(self, txf):
+        dataset, *_ = build_small_dataset(txf)
+        records = dataset.block_records()
+        assert [r.pool for r in records] == ["P", "Q"]
+        assert records[0].total_fees == 1200
+
+    def test_block_times(self, txf):
+        dataset, *_ = build_small_dataset(txf)
+        assert dataset.block_times().tolist() == [10.0, 20.0]

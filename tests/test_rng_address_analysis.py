@@ -1,0 +1,133 @@
+"""Unit tests for RNG streams, addresses, and the analysis helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.cdf import Ecdf, dominates, ecdf, quantile_table
+from repro.analysis.tables import format_cell, render_kv, render_table
+from repro.chain.address import AddressFactory, derive_address
+from repro.simulation.rng import RngStreams, derive_seed
+
+
+class TestRngStreams:
+    def test_streams_independent(self):
+        streams = RngStreams(1)
+        a = streams.stream("a").random(5)
+        b = streams.stream("b").random(5)
+        assert not np.allclose(a, b)
+
+    def test_stream_cached(self):
+        streams = RngStreams(1)
+        assert streams.stream("x") is streams.stream("x")
+
+    def test_same_seed_same_draws(self):
+        a = RngStreams(7).stream("s").random(4)
+        b = RngStreams(7).stream("s").random(4)
+        assert np.allclose(a, b)
+
+    def test_fresh_not_cached(self):
+        streams = RngStreams(1)
+        assert streams.fresh("x") is not streams.fresh("x")
+        assert np.allclose(streams.fresh("x").random(3), streams.fresh("x").random(3))
+
+    def test_derive_seed_stable(self):
+        assert derive_seed(1, "a") == derive_seed(1, "a")
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+
+    def test_consumer_isolation(self):
+        # Drawing extra values from one stream must not shift another.
+        streams1 = RngStreams(5)
+        streams1.stream("noise").random(100)
+        value1 = streams1.stream("signal").random()
+        streams2 = RngStreams(5)
+        value2 = streams2.stream("signal").random()
+        assert value1 == value2
+
+
+class TestAddresses:
+    def test_derive_deterministic(self):
+        assert derive_address("seed") == derive_address("seed")
+        assert derive_address("a") != derive_address("b")
+
+    def test_p2pkh_shape(self):
+        address = derive_address("x")
+        assert address.startswith("1")
+        assert 20 <= len(address) <= 36
+
+    def test_factory_unique(self):
+        factory = AddressFactory("ns")
+        batch = factory.batch(50)
+        assert len(set(batch)) == 50
+
+    def test_factory_namespaced(self):
+        a = AddressFactory("one").next()
+        b = AddressFactory("two").next()
+        assert a != b
+
+    def test_negative_batch_rejected(self):
+        with pytest.raises(ValueError):
+            AddressFactory("ns").batch(-1)
+
+
+class TestEcdf:
+    def test_probabilities_monotone(self):
+        cdf = ecdf([3.0, 1.0, 2.0])
+        assert cdf.values.tolist() == [1.0, 2.0, 3.0]
+        assert cdf.probabilities.tolist() == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_at(self):
+        cdf = ecdf([1.0, 2.0, 3.0, 4.0])
+        assert cdf.at(2.5) == pytest.approx(0.5)
+        assert cdf.at(0.0) == 0.0
+        assert cdf.at(10.0) == 1.0
+
+    def test_quantile(self):
+        cdf = ecdf(list(range(101)))
+        assert cdf.quantile(0.5) == pytest.approx(50.0)
+        with pytest.raises(ValueError):
+            cdf.quantile(1.5)
+
+    def test_empty(self):
+        cdf = Ecdf.from_values([])
+        assert cdf.count == 0
+        assert cdf.at(1.0) != cdf.at(1.0) or cdf.at(1.0) != cdf.at(1.0)  # NaN
+
+    def test_sample_points(self):
+        cdf = ecdf(list(range(100)))
+        points = cdf.sample_points(5)
+        assert len(points) == 5
+        assert points[0][0] == 0.0 and points[-1][1] == 1.0
+
+    def test_quantile_table(self):
+        table = quantile_table({"a": [1, 2, 3], "b": []}, quantiles=(0.5,))
+        assert table["a"] == [2.0]
+        assert table["b"][0] != table["b"][0]  # NaN
+
+    def test_dominates(self):
+        assert dominates([1, 2, 3], [4, 5, 6])
+        assert not dominates([4, 5, 6], [1, 2, 3])
+        assert not dominates([], [1])
+
+
+class TestTables:
+    def test_format_cell(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(float("nan")) == "-"
+        assert format_cell(0.0) == "0"
+        assert "e" in format_cell(1.5e-9)
+        assert format_cell("text") == "text"
+
+    def test_render_table_alignment(self):
+        out = render_table(["a", "bb"], [[1, 2], [33, 44]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert len(set(len(line) for line in lines[1:])) <= 2
+
+    def test_render_table_row_width_checked(self):
+        with pytest.raises(ValueError):
+            render_table(["a"], [[1, 2]])
+
+    def test_render_kv(self):
+        out = render_kv([("key", 1), ("longer-key", 2.5)])
+        assert "key" in out and "longer-key" in out

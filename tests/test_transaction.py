@@ -1,0 +1,155 @@
+"""Unit tests for the transaction data model."""
+
+import pytest
+
+from repro.chain.transaction import (
+    CoinbaseTransaction,
+    OutPoint,
+    Transaction,
+    TransactionBuilder,
+    TxInput,
+    TxOutput,
+    coinbase_value,
+    dedupe_transactions,
+    make_coinbase,
+    make_transaction,
+    total_fees,
+    total_vsize,
+)
+
+
+def simple_tx(fee=500, vsize=250, nonce=0, parent="aa" * 32):
+    return make_transaction(
+        inputs=[TxInput(OutPoint(parent, 0))],
+        outputs=[TxOutput("addr", 10_000)],
+        vsize=vsize,
+        fee=fee,
+        nonce=nonce,
+    )
+
+
+class TestTransaction:
+    def test_txid_is_deterministic(self):
+        assert simple_tx().txid == simple_tx().txid
+
+    def test_txid_changes_with_nonce(self):
+        assert simple_tx(nonce=1).txid != simple_tx(nonce=2).txid
+
+    def test_txid_changes_with_outputs(self):
+        a = make_transaction(
+            [TxInput(OutPoint("aa" * 32, 0))], [TxOutput("x", 1)], 100, 10
+        )
+        b = make_transaction(
+            [TxInput(OutPoint("aa" * 32, 0))], [TxOutput("y", 1)], 100, 10
+        )
+        assert a.txid != b.txid
+
+    def test_fee_rate(self):
+        assert simple_tx(fee=500, vsize=250).fee_rate == pytest.approx(2.0)
+
+    def test_parent_txids(self):
+        parent = "bb" * 32
+        assert simple_tx(parent=parent).parent_txids == frozenset({parent})
+
+    def test_negative_fee_rejected(self):
+        with pytest.raises(ValueError):
+            simple_tx(fee=-1)
+
+    def test_zero_vsize_rejected(self):
+        with pytest.raises(ValueError):
+            simple_tx(vsize=0)
+
+    def test_negative_output_value_rejected(self):
+        with pytest.raises(ValueError):
+            TxOutput("addr", -5)
+
+    def test_touches_address(self):
+        tx = simple_tx()
+        assert tx.touches_address(frozenset({"addr"}))
+        assert not tx.touches_address(frozenset({"other"}))
+
+    def test_output_value(self):
+        assert simple_tx().output_value == 10_000
+
+    def test_is_coinbase_false_for_normal_tx(self):
+        assert not simple_tx().is_coinbase
+
+    def test_hashable_by_txid(self):
+        tx = simple_tx()
+        assert len({tx, tx}) == 1
+
+
+class TestCoinbase:
+    def test_coinbase_has_no_inputs(self):
+        cb = make_coinbase("pool", 50, "/Pool/", height=7)
+        assert cb.is_coinbase
+        assert cb.inputs == ()
+
+    def test_marker_stored(self):
+        cb = make_coinbase("pool", 50, "/F2Pool/", height=1)
+        assert cb.marker == "/F2Pool/"
+
+    def test_marker_affects_txid(self):
+        a = make_coinbase("pool", 50, "/A/", height=1)
+        b = make_coinbase("pool", 50, "/B/", height=1)
+        assert a.txid != b.txid
+
+    def test_height_affects_txid(self):
+        a = make_coinbase("pool", 50, "/A/", height=1)
+        b = make_coinbase("pool", 50, "/A/", height=2)
+        assert a.txid != b.txid
+
+    def test_coinbase_with_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            CoinbaseTransaction(
+                inputs=(TxInput(OutPoint("aa" * 32, 0)),),
+                outputs=(TxOutput("x", 1),),
+                vsize=100,
+                fee=0,
+            )
+
+    def test_coinbase_value(self):
+        assert coinbase_value(625_000_000, 12_345) == 625_012_345
+
+    def test_coinbase_value_rejects_negative(self):
+        with pytest.raises(ValueError):
+            coinbase_value(-1, 0)
+
+
+class TestHelpers:
+    def test_dedupe_keeps_first(self):
+        tx = simple_tx()
+        other = simple_tx(nonce=9)
+        assert dedupe_transactions([tx, other, tx]) == [tx, other]
+
+    def test_total_fees_and_vsize(self):
+        txs = [simple_tx(fee=100, vsize=200, nonce=i) for i in range(3)]
+        assert total_fees(txs) == 300
+        assert total_vsize(txs) == 600
+
+
+class TestTransactionBuilder:
+    def test_fresh_outpoints_never_collide(self):
+        builder = TransactionBuilder("ns")
+        a = builder.build("x", 1000, fee=10, vsize=100)
+        b = builder.build("x", 1000, fee=10, vsize=100)
+        assert a.txid != b.txid
+        assert not (a.parent_txids & b.parent_txids)
+
+    def test_extra_parents_recorded(self):
+        builder = TransactionBuilder("ns")
+        parent = builder.build("x", 1000, fee=10, vsize=100)
+        child = builder.build(
+            "y", 500, fee=50, vsize=100, extra_parents=[parent.txid]
+        )
+        assert parent.txid in child.parent_txids
+
+    def test_change_address_adds_output(self):
+        builder = TransactionBuilder("ns")
+        tx = builder.build("x", 1000, fee=10, vsize=100, change_address="chg")
+        assert {o.address for o in tx.outputs} == {"x", "chg"}
+
+    def test_namespaces_are_isolated(self):
+        a = TransactionBuilder("one").build("x", 1, fee=1, vsize=100)
+        b = TransactionBuilder("two").build("x", 1, fee=1, vsize=100)
+        assert a.txid != b.txid

@@ -1,0 +1,155 @@
+"""Unit tests for pairwise selection-norm violation detection."""
+
+import numpy as np
+import pytest
+
+from repro.core.violations import (
+    SnapshotView,
+    analyze_snapshot,
+    analyze_snapshots,
+    build_snapshot_view,
+    count_violations,
+    enumerate_violating_pairs,
+)
+from repro.mempool.snapshots import MempoolSnapshot, SnapshotTx
+
+
+def view_from(rows):
+    """rows: (txid, arrival, fee_rate, commit_height)."""
+    return SnapshotView(
+        time=0.0,
+        txids=tuple(r[0] for r in rows),
+        arrival_times=np.asarray([r[1] for r in rows], dtype=float),
+        fee_rates=np.asarray([r[2] for r in rows], dtype=float),
+        commit_heights=np.asarray([r[3] for r in rows], dtype=np.int64),
+    )
+
+
+class TestCountViolations:
+    def test_textbook_violation(self):
+        # i earlier, richer, committed later than j.
+        eligible, violating = count_violations([0.0, 10.0], [50.0, 5.0], [7, 3])
+        assert (eligible, violating) == (1, 1)
+
+    def test_norm_conformant_pair(self):
+        eligible, violating = count_violations([0.0, 10.0], [50.0, 5.0], [3, 7])
+        assert (eligible, violating) == (1, 0)
+
+    def test_later_richer_is_not_eligible(self):
+        eligible, violating = count_violations([10.0, 0.0], [50.0, 5.0], [7, 3])
+        assert eligible == 0
+
+    def test_epsilon_excludes_near_simultaneous(self):
+        eligible, _ = count_violations([0.0, 5.0], [50.0, 5.0], [7, 3], epsilon=10.0)
+        assert eligible == 0
+        eligible, _ = count_violations([0.0, 15.0], [50.0, 5.0], [7, 3], epsilon=10.0)
+        assert eligible == 1
+
+    def test_equal_fee_rates_not_eligible(self):
+        eligible, _ = count_violations([0.0, 10.0], [5.0, 5.0], [7, 3])
+        assert eligible == 0
+
+    def test_same_block_not_violating(self):
+        _, violating = count_violations([0.0, 10.0], [50.0, 5.0], [3, 3])
+        assert violating == 0
+
+    def test_block_size_chunking_consistent(self):
+        rng = np.random.default_rng(0)
+        n = 300
+        times = rng.uniform(0, 100, n)
+        rates = rng.uniform(1, 100, n)
+        heights = rng.integers(0, 20, n)
+        small = count_violations(times, rates, heights, block_size=7)
+        large = count_violations(times, rates, heights, block_size=1024)
+        assert small == large
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            count_violations([0.0], [1.0, 2.0], [0, 1])
+
+
+class TestSnapshotView:
+    def _snapshot(self):
+        txs = (
+            SnapshotTx("early-rich", 0.0, 5000, 100),
+            SnapshotTx("late-poor", 20.0, 100, 100),
+            SnapshotTx("uncommitted", 5.0, 300, 100),
+            SnapshotTx("cpfp-child", 8.0, 900, 100),
+        )
+        return MempoolSnapshot(time=30.0, txs=txs)
+
+    def test_build_drops_uncommitted(self):
+        commits = {"early-rich": 9, "late-poor": 2, "cpfp-child": 2}
+        view = build_snapshot_view(self._snapshot(), commits)
+        assert set(view.txids) == {"early-rich", "late-poor", "cpfp-child"}
+
+    def test_build_drops_cpfp_when_asked(self):
+        commits = {"early-rich": 9, "late-poor": 2, "cpfp-child": 2}
+        view = build_snapshot_view(
+            self._snapshot(), commits, cpfp_txids=frozenset({"cpfp-child"})
+        )
+        assert set(view.txids) == {"early-rich", "late-poor"}
+
+    def test_analyze_snapshot_counts(self):
+        commits = {"early-rich": 9, "late-poor": 2}
+        view = build_snapshot_view(self._snapshot(), commits)
+        stats = analyze_snapshot(view)
+        assert stats.tx_count == 2
+        assert stats.total_pairs == 1
+        assert stats.violating_pairs == 1
+        assert stats.violating_fraction == 1.0
+        assert stats.violating_fraction_of_eligible == 1.0
+
+    def test_zero_tx_snapshot(self):
+        view = build_snapshot_view(MempoolSnapshot(time=0.0, txs=()), {})
+        stats = analyze_snapshot(view)
+        assert stats.violating_fraction == 0.0
+
+    def test_analyze_snapshots_multi_epsilon(self):
+        commits = {"early-rich": 9, "late-poor": 2}
+        view = build_snapshot_view(self._snapshot(), commits)
+        results = analyze_snapshots([view], epsilons=(0.0, 10.0, 600.0))
+        assert set(results) == {0.0, 10.0, 600.0}
+        assert results[0.0][0].violating_pairs == 1
+        assert results[600.0][0].violating_pairs == 0  # ε kills the pair
+
+    def test_epsilon_monotone(self):
+        rng = np.random.default_rng(7)
+        n = 120
+        rows = [
+            (f"t{i}", float(rng.uniform(0, 1000)), float(rng.uniform(1, 200)), int(rng.integers(0, 30)))
+            for i in range(n)
+        ]
+        view = view_from(rows)
+        counts = [
+            analyze_snapshot(view, epsilon).violating_pairs
+            for epsilon in (0.0, 10.0, 100.0, 600.0)
+        ]
+        assert counts == sorted(counts, reverse=True)
+
+
+class TestEnumeratePairs:
+    def test_enumerates_expected_pair(self):
+        view = view_from(
+            [("a", 0.0, 50.0, 7), ("b", 10.0, 5.0, 3)]
+        )
+        assert enumerate_violating_pairs(view) == [("a", "b")]
+
+    def test_limit(self):
+        rows = [("a", 0.0, 100.0, 9)] + [
+            (f"b{i}", 10.0 + i, 1.0 + i * 0.1, i % 3) for i in range(10)
+        ]
+        view = view_from(rows)
+        pairs = enumerate_violating_pairs(view, limit=3)
+        assert len(pairs) == 3
+
+    def test_count_matches_enumeration(self):
+        rng = np.random.default_rng(3)
+        rows = [
+            (f"t{i}", float(rng.uniform(0, 100)), float(rng.uniform(1, 50)), int(rng.integers(0, 10)))
+            for i in range(60)
+        ]
+        view = view_from(rows)
+        stats = analyze_snapshot(view)
+        pairs = enumerate_violating_pairs(view)
+        assert len(pairs) == stats.violating_pairs

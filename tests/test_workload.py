@@ -1,0 +1,191 @@
+"""Unit tests for the workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.records import (
+    LABEL_ACCELERATED,
+    LABEL_LOW_FEE,
+    LABEL_SCAM,
+    LABEL_SELF_INTEREST,
+    LABEL_ZERO_FEE,
+)
+from repro.simulation.rng import RngStreams
+from repro.simulation.workload import (
+    DemandModel,
+    FeeModel,
+    InjectionConfig,
+    SizeModel,
+    WorkloadConfig,
+    WorkloadGenerator,
+    backlog_proxy,
+)
+
+
+def make_config(duration=3600.0, **injection_kwargs):
+    return WorkloadConfig(
+        duration=duration,
+        capacity_vsize_per_second=1_000_000 / 600.0,
+        injections=InjectionConfig(**injection_kwargs),
+        pool_wallets={"P": ["wallet-p"]},
+    )
+
+
+def generate(config, seed=1):
+    return WorkloadGenerator(config, RngStreams(seed)).generate()
+
+
+class TestDemandModel:
+    def test_series_covers_duration(self):
+        model = DemandModel(bin_seconds=600.0)
+        starts, ratios = model.intensity_series(3600.0, np.random.default_rng(0))
+        assert len(starts) == 6
+        assert ratios.min() >= model.min_ratio
+        assert ratios.max() <= model.max_ratio
+
+    def test_long_run_mean_near_base(self):
+        model = DemandModel(base_ratio=1.0, diurnal_amplitude=0.0)
+        _, ratios = model.intensity_series(600.0 * 20000, np.random.default_rng(0))
+        assert float(ratios.mean()) == pytest.approx(1.0, rel=0.1)
+
+
+class TestBacklogProxy:
+    def test_fluid_mode_grows_when_overloaded(self):
+        ratios = np.full(10, 2.0)
+        backlog = backlog_proxy(ratios, bin_seconds=600.0)
+        assert backlog[-1] > backlog[0] > 0.0
+
+    def test_fluid_mode_drains_when_underloaded(self):
+        ratios = np.concatenate([np.full(5, 3.0), np.full(20, 0.2)])
+        backlog = backlog_proxy(ratios, bin_seconds=600.0)
+        assert backlog[-1] == 0.0
+
+    def test_block_aware_mode_reacts_to_slow_blocks(self):
+        ratios = np.full(10, 1.0)
+        # No blocks at all in the window: backlog builds steadily.
+        no_blocks = backlog_proxy(
+            ratios, bin_seconds=600.0, block_times=np.asarray([])
+        )
+        # A block every 600 s keeps the backlog near zero.
+        steady = backlog_proxy(
+            ratios,
+            bin_seconds=600.0,
+            block_times=np.arange(1, 11) * 600.0 - 1.0,
+        )
+        assert no_blocks[-1] > steady[-1]
+
+    def test_never_negative(self):
+        ratios = np.full(10, 0.01)
+        backlog = backlog_proxy(
+            ratios, bin_seconds=600.0, block_times=np.arange(10) * 60.0
+        )
+        assert (backlog >= 0.0).all()
+
+
+class TestFeeModel:
+    def test_backlog_raises_fees(self):
+        model = FeeModel(insensitive_fraction=0.0)
+        rng = np.random.default_rng(0)
+        calm = model.draw(4000, np.zeros(4000), rng)
+        jammed = model.draw(4000, np.full(4000, 10.0), rng)
+        assert float(np.median(jammed)) > 3.0 * float(np.median(calm))
+
+    def test_insensitive_users_ignore_backlog(self):
+        model = FeeModel(insensitive_fraction=1.0)
+        rng = np.random.default_rng(0)
+        calm = model.draw(4000, np.zeros(4000), rng)
+        jammed = model.draw(4000, np.full(4000, 10.0), rng)
+        assert float(np.median(jammed)) == pytest.approx(
+            float(np.median(calm)), rel=0.2
+        )
+
+    def test_bounds_respected(self):
+        model = FeeModel(min_sat_vb=1.0, max_sat_vb=100.0)
+        rates = model.draw(
+            1000, np.full(1000, 50.0), np.random.default_rng(0)
+        )
+        assert rates.min() >= 1.0 and rates.max() <= 100.0
+
+
+class TestSizeModel:
+    def test_bounds(self):
+        model = SizeModel(min_vsize=110, max_vsize=5000)
+        sizes = model.draw(1000, np.random.default_rng(0))
+        assert sizes.min() >= 110 and sizes.max() <= 5000
+        assert sizes.dtype == np.int64
+
+
+class TestGenerator:
+    def test_plan_sorted_by_time(self):
+        plan = generate(make_config())
+        times = [p.broadcast_time for p in plan]
+        assert times == sorted(times)
+
+    def test_deterministic_for_seed(self):
+        a = generate(make_config(), seed=5)
+        b = generate(make_config(), seed=5)
+        assert [p.tx.txid for p in a] == [p.tx.txid for p in b]
+
+    def test_different_seeds_differ(self):
+        a = generate(make_config(), seed=5)
+        b = generate(make_config(), seed=6)
+        assert [p.tx.txid for p in a] != [p.tx.txid for p in b]
+
+    def test_txids_unique(self):
+        plan = generate(make_config())
+        txids = [p.tx.txid for p in plan]
+        assert len(txids) == len(set(txids))
+
+    def test_cpfp_children_reference_parents(self):
+        plan = generate(make_config())
+        by_txid = {p.tx.txid for p in plan}
+        children = [
+            p for p in plan if p.tx.parent_txids & by_txid
+        ]
+        assert children  # chaining happens
+        for child in children:
+            for parent in child.tx.parent_txids & by_txid:
+                parent_time = next(
+                    q.broadcast_time for q in plan if q.tx.txid == parent
+                )
+                assert child.broadcast_time > parent_time
+
+    def test_self_interest_injection(self):
+        plan = generate(make_config(self_interest_counts={"P": 5}))
+        tagged = [p for p in plan if f"{LABEL_SELF_INTEREST}:P" in p.labels]
+        assert len(tagged) == 5
+        assert all(
+            any(out.address == "wallet-p" for out in p.tx.outputs) for p in tagged
+        )
+
+    def test_scam_injection_within_window(self):
+        plan = generate(
+            make_config(scam_count=7, scam_window=(1000.0, 2000.0))
+        )
+        scams = [p for p in plan if LABEL_SCAM in p.labels]
+        assert len(scams) == 7
+        assert all(1000.0 <= p.broadcast_time <= 2000.0 for p in scams)
+        # All scam payments hit the same wallet.
+        wallets = {p.tx.outputs[0].address for p in scams}
+        assert len(wallets) == 1
+
+    def test_accelerated_injection(self):
+        plan = generate(make_config(accelerated_counts={"svc": 4}))
+        accelerated = [p for p in plan if p.accelerate_via == "svc"]
+        assert len(accelerated) == 4
+        assert all(f"{LABEL_ACCELERATED}:svc" in p.labels for p in accelerated)
+        # Dark-fee transactions look cheap on-chain.
+        assert all(p.tx.fee_rate < 10.0 for p in accelerated)
+
+    def test_low_and_zero_fee_probes(self):
+        plan = generate(make_config(low_fee_count=6, zero_fee_count=4))
+        low = [p for p in plan if LABEL_LOW_FEE in p.labels]
+        zero = [p for p in plan if LABEL_ZERO_FEE in p.labels]
+        assert len(low) == 6 and len(zero) == 4
+        assert all(p.tx.fee_rate < 1.0 for p in low)
+        assert all(p.tx.fee == 0 for p in zero)
+
+    def test_unknown_pool_wallet_skipped(self):
+        config = make_config(self_interest_counts={"missing-pool": 5})
+        plan = generate(config)
+        assert not [p for p in plan if p.labels]
