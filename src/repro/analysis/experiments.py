@@ -8,6 +8,7 @@ from .base import DataContext, ExperimentResult, ExperimentRunner
 from . import (
     ablations,
     ext_censorship,
+    ext_faults,
     ext_norms,
     ext_power,
     ext_rbf,
@@ -57,6 +58,7 @@ EXTENSIONS: dict[str, ExperimentRunner] = {
     "ext_verification": ext_verification.run,
     "ext_rbf": ext_rbf.run,
     "ext_power": ext_power.run,
+    "ext_faults": ext_faults.run,
     "abl_selection": ablations.run_selection,
     "abl_epsilon": ablations.run_epsilon,
     "abl_jitter": ablations.run_jitter,

@@ -6,6 +6,7 @@ Usage::
     repro-audit run fig7 table2 --scale 0.1
     repro-audit run all --scale 0.25 --out experiments.txt
     repro-audit dataset C --scale 0.1 --out dataset_c.json.gz
+    repro-audit faults --scale 0.05 --loss 0 0.05 0.5 --downtime 0 0.25
 """
 
 from __future__ import annotations
@@ -61,6 +62,52 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also export flat CSV tables into this directory",
     )
+
+    faults_parser = sub.add_parser(
+        "faults",
+        help="sweep audit detection power under measurement faults",
+        description=(
+            "Sweep the prioritization test's detection power over a "
+            "transaction-loss x observer-downtime grid and report the "
+            "power cliff (power-under-faults experiment)."
+        ),
+    )
+    faults_parser.add_argument(
+        "--scale", type=float, default=None, help="simulation scale"
+    )
+    faults_parser.add_argument(
+        "--loss",
+        type=float,
+        nargs="+",
+        default=None,
+        help="transaction loss rates to probe (default: built-in grid)",
+    )
+    faults_parser.add_argument(
+        "--downtime",
+        type=float,
+        nargs="+",
+        default=None,
+        help="observer downtime fractions to probe",
+    )
+    faults_parser.add_argument(
+        "--seeds",
+        type=int,
+        nargs="+",
+        default=None,
+        help="simulation seeds (one clean run each)",
+    )
+    faults_parser.add_argument(
+        "--reps",
+        type=int,
+        default=None,
+        help="independent fault seeds per grid cell",
+    )
+    faults_parser.add_argument(
+        "--alpha", type=float, default=None, help="test size (default 0.01)"
+    )
+    faults_parser.add_argument(
+        "--out", type=str, default=None, help="also write the report to a file"
+    )
     return parser
 
 
@@ -114,6 +161,36 @@ def _dataset_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _faults_command(args: argparse.Namespace) -> int:
+    from .analysis import ext_faults
+
+    kwargs: dict = {}
+    if args.scale is not None:
+        kwargs["scale"] = args.scale
+    if args.loss is not None:
+        kwargs["loss_grid"] = tuple(args.loss)
+    if args.downtime is not None:
+        kwargs["downtime_grid"] = tuple(args.downtime)
+    if args.seeds is not None:
+        kwargs["seeds"] = tuple(args.seeds)
+    if args.reps is not None:
+        kwargs["reps"] = args.reps
+    if args.alpha is not None:
+        kwargs["alpha"] = args.alpha
+    try:
+        sweep = ext_faults.sweep_power_under_faults(**kwargs)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = ext_faults.render_sweep(sweep)
+    print(report)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+        print(f"\nreport written to {args.out}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point."""
     parser = _build_parser()
@@ -128,6 +205,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_command(args)
     if args.command == "dataset":
         return _dataset_command(args)
+    if args.command == "faults":
+        return _faults_command(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

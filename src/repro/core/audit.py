@@ -14,12 +14,14 @@ stays independently testable.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional, Sequence, TypeVar
 
 import numpy as np
 
 from ..datasets.dataset import Dataset
+from ..faults.quality import DataQualityReport, assess_quality
+from ..mempool.snapshots import CONGESTION_BINS
 from .acceleration import (
     TABLE4_THRESHOLDS,
     DetectionReport,
@@ -64,11 +66,46 @@ class ScamRow:
     sppe: float
 
 
+@dataclass
+class AuditReport:
+    """Everything :meth:`Auditor.audit` produces over one dataset.
+
+    Fields degrade to None/empty instead of the audit raising; the
+    ``quality`` report says how much to trust them, and ``notes``
+    records every analysis that had to be skipped and why.
+    """
+
+    quality: DataQualityReport
+    ppe: Optional[PpeSummary] = None
+    delay: Optional[DelaySummary] = None
+    violations: list[ViolationStats] = field(default_factory=list)
+    self_interest: list[SelfInterestRow] = field(default_factory=list)
+    scam: list[ScamRow] = field(default_factory=list)
+    congested_fraction: float = float("nan")
+    notes: list[str] = field(default_factory=list)
+
+
+_T = TypeVar("_T")
+
+
 class Auditor:
-    """Run the paper's audits against one dataset."""
+    """Run the paper's audits against one dataset.
+
+    The auditor tolerates degraded inputs: partial mempool coverage,
+    snapshot gaps, orphaned blocks and unmined pools produce degenerate
+    results plus a :class:`DataQualityReport` — never an exception from
+    :meth:`audit`.
+    """
 
     def __init__(self, dataset: Dataset) -> None:
         self.dataset = dataset
+        self._quality: Optional[DataQualityReport] = None
+
+    def quality_report(self) -> DataQualityReport:
+        """Measured coverage/gap statistics of this dataset (cached)."""
+        if self._quality is None:
+            self._quality = assess_quality(self.dataset)
+        return self._quality
 
     # ------------------------------------------------------------------
     # §4.2.2 — in-block ordering
@@ -122,12 +159,62 @@ class Auditor:
     # §5.1/§5.2 — differential prioritization
     # ------------------------------------------------------------------
     def prioritization_test_for(
+        self, target_pool: str, txids: Iterable[str], coverage: float = 1.0
+    ) -> PrioritizationTestResult:
+        """Both directional binomial tests of ``target_pool`` on ``txids``.
+
+        A pool with no attributable blocks (or one owning the whole
+        chain) admits no binomial test — instead of raising, the result
+        degenerates to x = y = 0 with p-values of 1.0, which downstream
+        tables treat as "no evidence".
+        """
+        theta0 = self.dataset.hash_rate_of(target_pool)
+        if not 0.0 < theta0 < 1.0:
+            return PrioritizationTestResult(
+                pool=target_pool,
+                theta0=theta0,
+                x=0,
+                y=0,
+                p_accelerate=1.0,
+                p_decelerate=1.0,
+                coverage=coverage,
+            )
+        miners = self.dataset.c_block_miners(txids)
+        return prioritization_test(target_pool, theta0, miners, coverage=coverage)
+
+    def observed_prioritization_test_for(
         self, target_pool: str, txids: Iterable[str]
     ) -> PrioritizationTestResult:
-        """Both directional binomial tests of ``target_pool`` on ``txids``."""
-        theta0 = self.dataset.hash_rate_of(target_pool)
-        miners = self.dataset.c_block_miners(txids)
-        return prioritization_test(target_pool, theta0, miners)
+        """Prioritization test restricted to what the observer saw.
+
+        A degraded observer cannot audit transactions it never
+        recorded; this variant intersects the candidate set with the
+        observed transactions and stamps the result with the resulting
+        coverage, so detection power degrades with measurement loss the
+        way it would for a real, lossy vantage point.
+        """
+        txids = set(txids)
+        observed = {
+            txid
+            for txid in txids
+            if (record := self.dataset.tx_records.get(txid)) is not None
+            and record.observed
+        }
+        committed = sum(
+            1
+            for txid in txids
+            if (record := self.dataset.tx_records.get(txid)) is not None
+            and record.committed
+        )
+        committed_observed = sum(
+            1
+            for txid in observed
+            if self.dataset.tx_records[txid].committed
+        )
+        coverage = committed_observed / committed if committed else 1.0
+        return self.prioritization_test_for(
+            target_pool, observed, coverage=max(coverage, 1e-9)
+        )
 
     def sppe_for(
         self, target_pool: str, txids: Iterable[str]
@@ -285,8 +372,14 @@ class Auditor:
         return delays_by_fee_band(rates, delays)
 
     def fee_rates_by_congestion_level(self) -> dict[str, np.ndarray]:
-        """Fee-rates grouped by congestion at issuance (Fig 4c / Fig 11)."""
+        """Fee-rates grouped by congestion at issuance (Fig 4c / Fig 11).
+
+        An observer whose snapshot timeline is entirely missing (total
+        downtime) yields empty groups rather than an error.
+        """
         source = self.dataset.size_series or self.dataset.snapshots
+        if len(source.times) == 0:
+            return {label: np.empty(0) for label in CONGESTION_BINS}
         records = [
             r for r in self.dataset.tx_records.values() if r.observed
         ]
@@ -299,3 +392,46 @@ class Auditor:
         if self.dataset.size_series is not None:
             return self.dataset.size_series.congested_fraction()
         return self.dataset.snapshots.congested_fraction()
+
+    # ------------------------------------------------------------------
+    # Degradation-tolerant facade
+    # ------------------------------------------------------------------
+    def _safe(
+        self,
+        label: str,
+        compute: Callable[[], _T],
+        fallback: _T,
+        notes: list[str],
+    ) -> _T:
+        try:
+            return compute()
+        except Exception as exc:  # degradation tolerance: record, don't raise
+            notes.append(f"{label}: skipped ({exc})")
+            return fallback
+
+    def audit(self, snapshot_count: int = 10) -> AuditReport:
+        """Every audit section over this dataset, degradation-tolerant.
+
+        Never raises on partial data: each section that cannot be
+        computed is skipped with a note, and the attached
+        :class:`DataQualityReport` quantifies how degraded the inputs
+        were.
+        """
+        notes: list[str] = []
+        report = AuditReport(quality=self.quality_report(), notes=notes)
+        report.ppe = self._safe("ppe", self.ppe_summary, None, notes)
+        report.delay = self._safe("delay", self.delay_summary, None, notes)
+        report.violations = self._safe(
+            "violations",
+            lambda: self.violation_stats(count=snapshot_count),
+            [],
+            notes,
+        )
+        report.self_interest = self._safe(
+            "self-interest", self.self_interest_table, [], notes
+        )
+        report.scam = self._safe("scam", self.scam_table, [], notes)
+        report.congested_fraction = self._safe(
+            "congestion", self.congested_fraction, float("nan"), notes
+        )
+        return report

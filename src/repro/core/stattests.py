@@ -150,7 +150,16 @@ def fishers_method(p_values: Sequence[float]) -> float:
 
 @dataclass(frozen=True)
 class PrioritizationTestResult:
-    """One row of Table 2 / Table 3."""
+    """One row of Table 2 / Table 3.
+
+    ``coverage`` records the fraction of committed c-candidates the
+    degraded observer actually measured (1.0 on clean data).  Under
+    random measurement thinning the observed c-blocks are an unbiased
+    subsample of the true ones, so the exact binomial tails evaluated
+    at the *observed* (x, y) remain valid p-values — the loss shows up
+    as a smaller effective sample size y, i.e. reduced power, not bias.
+    The field preserves that context for reporting.
+    """
 
     pool: str
     theta0: float
@@ -158,6 +167,7 @@ class PrioritizationTestResult:
     y: int
     p_accelerate: float
     p_decelerate: float
+    coverage: float = 1.0
 
     def accelerates(self, alpha: float = STRONG_EVIDENCE_P) -> bool:
         """True when acceleration is significant at level ``alpha``."""
@@ -178,15 +188,24 @@ def prioritization_test(
     theta0: float,
     c_block_miners: Sequence[str],
     use_normal_approximation: bool = False,
+    coverage: float = 1.0,
 ) -> PrioritizationTestResult:
     """Run both directional tests for ``pool`` over labelled c-blocks.
 
     ``c_block_miners`` is the miner label of every block containing at
     least one c-transaction (duplicates meaningless: each *block* counts
     once; deduplicate before calling if needed).
+
+    ``coverage`` is the measured fraction of committed c-candidates the
+    observer saw; pass it when testing over a degraded dataset so the
+    result records its own effective-sample-size context.  The p-values
+    are already evaluated at the observed (x, y), which under random
+    thinning stay exact — see :class:`PrioritizationTestResult`.
     """
     if not 0.0 < theta0 < 1.0:
         raise ValueError(f"theta0 must be in (0,1), got {theta0}")
+    if not 0.0 < coverage <= 1.0:
+        raise ValueError(f"coverage must be in (0,1], got {coverage}")
     y = len(c_block_miners)
     x = sum(1 for miner in c_block_miners if miner == pool)
     if use_normal_approximation:
@@ -196,7 +215,13 @@ def prioritization_test(
         p_up = binom_tail_upper(x, y, theta0)
         p_down = binom_tail_lower(x, y, theta0)
     return PrioritizationTestResult(
-        pool=pool, theta0=theta0, x=x, y=y, p_accelerate=p_up, p_decelerate=p_down
+        pool=pool,
+        theta0=theta0,
+        x=x,
+        y=y,
+        p_accelerate=p_up,
+        p_decelerate=p_down,
+        coverage=coverage,
     )
 
 

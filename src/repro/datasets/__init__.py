@@ -10,6 +10,7 @@ from .builder import (
 from .dataset import Dataset
 from .export import export_csv
 from .io import (
+    DatasetCorruptionError,
     dataset_from_dict,
     dataset_path,
     dataset_to_dict,
@@ -38,6 +39,7 @@ __all__ = [
     "build_dataset_c",
     "clear_memory_cache",
     "Dataset",
+    "DatasetCorruptionError",
     "export_csv",
     "dataset_from_dict",
     "dataset_path",

@@ -11,15 +11,30 @@ module renders a :class:`~repro.datasets.dataset.Dataset` the same way:
 
 Everything is plain ``csv`` from the standard library so the files load
 anywhere (pandas, R, spreadsheets) without this package installed.
+
+Each table is written atomically (staged in memory, renamed into place
+via :func:`repro.datasets.io.atomic_write_text`), so a crash mid-export
+never leaves a truncated CSV behind.
 """
 
 from __future__ import annotations
 
 import csv
+import io
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Union
+from typing import Iterator, Union
 
 from .dataset import Dataset
+from .io import atomic_write_text
+
+
+@contextmanager
+def _atomic_csv(path: Path) -> Iterator["csv._writer"]:
+    """A csv writer whose output lands atomically at ``path``."""
+    buffer = io.StringIO(newline="")
+    yield csv.writer(buffer)
+    atomic_write_text(path, buffer.getvalue())
 
 TRANSACTIONS_FILE = "transactions.csv"
 BLOCKS_FILE = "blocks.csv"
@@ -40,8 +55,7 @@ def export_transactions(dataset: Dataset, path: Path) -> int:
         "commit_position",
         "labels",
     ]
-    with path.open("w", newline="", encoding="utf-8") as handle:
-        writer = csv.writer(handle)
+    with _atomic_csv(path) as writer:
         writer.writerow(fields)
         count = 0
         for record in dataset.tx_records.values():
@@ -83,8 +97,7 @@ def export_blocks(dataset: Dataset, path: Path) -> int:
         "subsidy_sat",
         "fee_share_of_revenue",
     ]
-    with path.open("w", newline="", encoding="utf-8") as handle:
-        writer = csv.writer(handle)
+    with _atomic_csv(path) as writer:
         writer.writerow(fields)
         count = 0
         for record in dataset.block_records():
@@ -107,8 +120,7 @@ def export_blocks(dataset: Dataset, path: Path) -> int:
 
 def export_snapshot_sizes(dataset: Dataset, path: Path) -> int:
     """Write the mempool size series; returns the row count."""
-    with path.open("w", newline="", encoding="utf-8") as handle:
-        writer = csv.writer(handle)
+    with _atomic_csv(path) as writer:
         writer.writerow(["time", "pending_vsize", "pending_tx_count"])
         if dataset.size_series is None:
             times = dataset.snapshots.times
@@ -125,8 +137,7 @@ def export_snapshot_sizes(dataset: Dataset, path: Path) -> int:
 
 def export_pools(dataset: Dataset, path: Path) -> int:
     """Write the per-pool table; returns the row count."""
-    with path.open("w", newline="", encoding="utf-8") as handle:
-        writer = csv.writer(handle)
+    with _atomic_csv(path) as writer:
         writer.writerow(["pool", "blocks", "hash_share", "reward_wallets"])
         estimates = dataset.hash_rates()
         for estimate in estimates:

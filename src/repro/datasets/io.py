@@ -6,12 +6,26 @@ a single gzip-compressed JSON document with compact per-transaction
 tuples.  Round-tripping re-derives transaction and block hashes from
 content, so a load verifies integrity for free: a corrupted file simply
 fails chain validation.
+
+Robustness guarantees (tests/test_io.py):
+
+* writes are **atomic** — the document goes to ``<path>.tmp`` first and
+  is moved into place with :func:`os.replace`, so a crash mid-write
+  never leaves a truncated artifact where a reader expects a dataset;
+* writes are **deterministic** — the gzip header is written with
+  ``mtime=0``, so the same dataset always produces the same bytes
+  (the zero-rate fault-schedule identity test depends on this);
+* a truncated or malformed file raises :class:`DatasetCorruptionError`
+  carrying the path and, where available, the byte offset — never a
+  bare decoder traceback.
 """
 
 from __future__ import annotations
 
 import gzip
 import json
+import os
+import zlib
 from pathlib import Path
 from typing import Optional, Union
 
@@ -34,6 +48,41 @@ from .dataset import Dataset
 from .records import TxRecord
 
 FORMAT_VERSION = 1
+
+
+class DatasetCorruptionError(ValueError):
+    """A dataset file exists but cannot be decoded.
+
+    ``path`` locates the artifact; ``offset`` is the byte/character
+    position the decoder stopped at when the underlying error exposes
+    one (JSON syntax errors do; truncated gzip streams do not).
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        reason: str,
+        offset: Optional[int] = None,
+    ) -> None:
+        self.path = Path(path)
+        self.reason = reason
+        self.offset = offset
+        location = f" at offset {offset}" if offset is not None else ""
+        super().__init__(f"corrupt dataset {self.path}{location}: {reason}")
+
+
+def atomic_write_text(path: Union[str, Path], text: str) -> Path:
+    """Write ``text`` to ``path`` via a sibling temp file + rename."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        tmp.write_text(text, encoding="utf-8")
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():
+            tmp.unlink()
+    return path
 
 
 def _encode_tx(tx: Transaction) -> list:
@@ -198,19 +247,51 @@ def dataset_from_dict(payload: dict) -> Dataset:
 
 
 def save_dataset(dataset: Dataset, path: Union[str, Path]) -> Path:
-    """Write a dataset to ``path`` as gzip-compressed JSON."""
+    """Atomically write a dataset to ``path`` as gzip-compressed JSON.
+
+    The document is staged at ``<path>.tmp`` and renamed into place, so
+    readers never see a half-written file.  ``mtime=0`` in the gzip
+    header makes the output a pure function of the dataset contents.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    with gzip.open(path, "wt", encoding="utf-8") as handle:
-        json.dump(dataset_to_dict(dataset), handle, separators=(",", ":"))
+    text = json.dumps(dataset_to_dict(dataset), separators=(",", ":"))
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, "wb") as raw:
+            with gzip.GzipFile(
+                filename="", fileobj=raw, mode="wb", mtime=0
+            ) as handle:
+                handle.write(text.encode("utf-8"))
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():
+            tmp.unlink()
     return path
 
 
 def load_dataset(path: Union[str, Path]) -> Dataset:
-    """Read a dataset previously written by :func:`save_dataset`."""
-    with gzip.open(Path(path), "rt", encoding="utf-8") as handle:
-        payload = json.load(handle)
-    return dataset_from_dict(payload)
+    """Read a dataset previously written by :func:`save_dataset`.
+
+    Raises :class:`DatasetCorruptionError` (with path and, for JSON
+    syntax errors, the character offset) on truncated gzip streams,
+    malformed JSON, or structurally invalid documents — and plain
+    :class:`FileNotFoundError` when the file is simply absent.
+    """
+    path = Path(path)
+    try:
+        with gzip.open(path, "rt", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except FileNotFoundError:
+        raise
+    except json.JSONDecodeError as exc:
+        raise DatasetCorruptionError(path, exc.msg, offset=exc.pos) from exc
+    except (EOFError, OSError, ValueError, UnicodeDecodeError, zlib.error) as exc:
+        raise DatasetCorruptionError(path, str(exc)) from exc
+    try:
+        return dataset_from_dict(payload)
+    except (KeyError, IndexError, TypeError, ValueError) as exc:
+        raise DatasetCorruptionError(path, f"invalid structure: {exc!r}") from exc
 
 
 def dataset_path(directory: Union[str, Path], name: str, seed: int) -> Path:

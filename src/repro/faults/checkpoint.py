@@ -1,0 +1,99 @@
+"""Checkpoint/resume for long simulation runs.
+
+Multi-week campaigns (full-scale dataset C, decade-scale history) are
+long enough that a crash mid-run used to mean starting over.  This
+module provides the two halves of crash tolerance:
+
+* **atomic checkpoint files** — gzip-JSON payloads written to
+  ``<path>.tmp`` and moved into place with :func:`os.replace`, so a
+  crash mid-write never leaves a truncated checkpoint behind;
+* **deterministic resume** — the engine and history generators persist
+  their RNG stream states (:meth:`numpy.random.BitGenerator.state` is a
+  plain dict) alongside loop state, so a resumed run replays the exact
+  draws an uninterrupted run would have made.  The identity is asserted
+  in ``tests/test_checkpoint.py``.
+
+The consumers live in :mod:`repro.simulation.engine` (per-block
+checkpoints) and :mod:`repro.simulation.history` (per-era-block
+checkpoints); both accept a :class:`CheckpointConfig`.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import os
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint file exists but cannot be used (corrupt/mismatched)."""
+
+
+class SimulationInterrupted(RuntimeError):
+    """Raised by the test-only abort hook after a checkpoint is written.
+
+    Simulates a mid-flight kill: the run stops *after* persisting a
+    checkpoint, exactly like a crash between checkpoint boundaries
+    loses only the blocks since the last write.
+    """
+
+
+@dataclass
+class CheckpointConfig:
+    """Where and how often to checkpoint a run."""
+
+    path: Union[str, Path]
+    #: Checkpoint every N processed blocks.
+    every_blocks: int = 25
+    #: Additional RNG registries whose state rides along (e.g. the
+    #: policy-jitter streams a scenario wires at construction time).
+    extra_streams: Tuple = ()
+    #: Test hook: abort (raise SimulationInterrupted) after this many
+    #: blocks processed in the current session, checkpointing first.
+    abort_after_blocks: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.every_blocks < 1:
+            raise ValueError("every_blocks must be >= 1")
+        if self.abort_after_blocks is not None and self.abort_after_blocks < 1:
+            raise ValueError("abort_after_blocks must be >= 1 when set")
+        self.path = Path(self.path)
+
+
+def write_checkpoint(path: Union[str, Path], payload: dict) -> Path:
+    """Atomically persist ``payload`` as gzip-JSON at ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with gzip.open(tmp, "wt", encoding="utf-8") as handle:
+            json.dump(payload, handle, separators=(",", ":"))
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():
+            tmp.unlink()
+    return path
+
+
+def load_checkpoint(path: Union[str, Path]) -> Optional[dict]:
+    """Read a checkpoint, or None when no file exists.
+
+    A present-but-unreadable checkpoint raises :class:`CheckpointError`
+    rather than silently restarting — losing a week of simulation to a
+    quietly ignored corrupt file is the worse failure mode.
+    """
+    path = Path(path)
+    if not path.exists():
+        return None
+    try:
+        with gzip.open(path, "rt", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (EOFError, OSError, ValueError, UnicodeDecodeError, zlib.error) as exc:
+        raise CheckpointError(f"unreadable checkpoint {path}: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise CheckpointError(f"checkpoint {path} is not a JSON object")
+    return payload

@@ -1,0 +1,241 @@
+"""Apply observer-side faults to an already-curated dataset.
+
+Observer-side faults — relay loss towards the measurement node,
+downtime windows, partitions — only affect what the observer *records*,
+never what the chain *commits*.  They therefore commute with curation:
+degrading a lossless dataset after the fact yields the same artifact as
+re-running the engine with the same faults injected (asserted in
+``tests/test_faults_pipeline.py``), because both sides consult the same
+:class:`~repro.faults.schedule.FaultSchedule` channels over the same
+canonical transaction order.
+
+This is the workhorse of the power-under-faults sweep: one expensive
+simulation per seed, then cheap re-degradation per grid cell, with the
+loss masks nested across rates so the detection-power curve degrades
+monotonically by construction.
+
+Chain-side faults (pool loss, stale blocks) change the committed chain
+and therefore cannot be applied post hoc; inject them through the
+engine (``SimulationEngine(..., faults=...)``) instead.
+
+One approximation: the per-tick :class:`SizeSeries` subtracts a lost
+transaction's vsize over ``[arrival, commit-block discovery)``, while
+the engine's reconstruction removes it a sub-second block-relay delay
+*after* discovery.  At the 15-second tick cadence the difference is at
+most one tick per lost transaction; the snapshot *contents* and record
+tables match the engine exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+import numpy as np
+
+from ..datasets.dataset import Dataset
+from ..datasets.records import TxRecord
+from ..mempool.snapshots import (
+    MempoolSnapshot,
+    SizeSeries,
+    SnapshotStore,
+    SnapshotTx,
+)
+from .schedule import FaultSchedule, OutageWindow
+
+
+def _window_at(
+    windows: tuple[OutageWindow, ...], time: float
+) -> Optional[OutageWindow]:
+    for window in windows:
+        if window.contains(time):
+            return window
+    return None
+
+
+def _degrade_records(
+    dataset: Dataset,
+    lost: frozenset,
+    down: tuple[OutageWindow, ...],
+    partitions: tuple[OutageWindow, ...],
+    block_times: np.ndarray,
+) -> dict[str, TxRecord]:
+    """Censor or defer each record's observer arrival per the faults."""
+    out: dict[str, TxRecord] = {}
+    for txid, record in dataset.tx_records.items():
+        arrival = record.observer_arrival
+        if arrival is not None:
+            if txid in lost:
+                arrival = None
+            elif _window_at(down, arrival) is not None:
+                arrival = None
+            else:
+                window = _window_at(partitions, arrival)
+                if window is not None:
+                    commit_time = (
+                        float(block_times[record.commit_height])
+                        if record.commit_height is not None
+                        and record.commit_height < len(block_times)
+                        else None
+                    )
+                    if commit_time is not None and commit_time <= window.end:
+                        # Committed before the partition healed: the
+                        # observer never saw it pending at all.
+                        arrival = None
+                    else:
+                        arrival = window.end
+        if arrival != record.observer_arrival:
+            record = replace(record, observer_arrival=arrival)
+        out[txid] = record
+    return out
+
+
+def _degrade_snapshots(
+    dataset: Dataset,
+    records: dict[str, TxRecord],
+    down: tuple[OutageWindow, ...],
+) -> SnapshotStore:
+    """Drop snapshots taken during downtime; censor lost/deferred txs."""
+    kept: list[MempoolSnapshot] = []
+    for snapshot in dataset.snapshots:
+        if _window_at(down, snapshot.time) is not None:
+            continue
+        txs: list[SnapshotTx] = []
+        changed = False
+        for tx in snapshot.txs:
+            record = records.get(tx.txid)
+            if record is None:
+                txs.append(tx)
+                continue
+            arrival = record.observer_arrival
+            if arrival is None or arrival > snapshot.time:
+                changed = True
+                continue
+            if arrival != tx.arrival_time:
+                changed = True
+                tx = SnapshotTx(
+                    txid=tx.txid,
+                    arrival_time=arrival,
+                    fee=tx.fee,
+                    vsize=tx.vsize,
+                )
+            txs.append(tx)
+        kept.append(
+            MempoolSnapshot(time=snapshot.time, txs=tuple(txs))
+            if changed
+            else snapshot
+        )
+    return SnapshotStore(kept)
+
+
+def _degrade_size_series(
+    dataset: Dataset,
+    records: dict[str, TxRecord],
+    down: tuple[OutageWindow, ...],
+    block_times: np.ndarray,
+) -> Optional[SizeSeries]:
+    """Recompute the per-tick series minus censored/deferred residency."""
+    series = dataset.size_series
+    if series is None:
+        return None
+    times = np.asarray(series.times, dtype=float)
+    sizes = np.asarray(series.sizes(), dtype=np.int64)
+    counts_list = series.tx_counts()
+    counts = (
+        np.asarray(counts_list, dtype=np.int64) if counts_list is not None else None
+    )
+    if times.size:
+        size_delta = np.zeros(times.size + 1, dtype=np.int64)
+        count_delta = np.zeros(times.size + 1, dtype=np.int64)
+        horizon = float(times[-1]) + 1.0
+        for txid, record in records.items():
+            original = dataset.tx_records[txid].observer_arrival
+            arrival = record.observer_arrival
+            if original is None or arrival == original:
+                continue
+            if record.commit_height is not None and record.commit_height < len(
+                block_times
+            ):
+                removal = float(block_times[record.commit_height])
+            else:
+                removal = horizon
+            # Subtract the original residency [original, removal) ...
+            lo = int(np.searchsorted(times, original, side="left"))
+            hi = int(np.searchsorted(times, removal, side="left"))
+            if lo < hi:
+                size_delta[lo] -= record.vsize
+                size_delta[hi] += record.vsize
+                count_delta[lo] -= 1
+                count_delta[hi] += 1
+            # ... and add back the deferred residency, if any.
+            if arrival is not None and arrival < removal:
+                lo = int(np.searchsorted(times, arrival, side="left"))
+                hi = int(np.searchsorted(times, removal, side="left"))
+                if lo < hi:
+                    size_delta[lo] += record.vsize
+                    size_delta[hi] -= record.vsize
+                    count_delta[lo] += 1
+                    count_delta[hi] -= 1
+        sizes = np.maximum(sizes + np.cumsum(size_delta[:-1]), 0)
+        if counts is not None:
+            counts = np.maximum(counts + np.cumsum(count_delta[:-1]), 0)
+    if down:
+        keep = np.ones(times.size, dtype=bool)
+        for window in down:
+            keep &= ~((times >= window.start) & (times < window.end))
+        times = times[keep]
+        sizes = sizes[keep]
+        if counts is not None:
+            counts = counts[keep]
+    return SizeSeries(
+        times=times.tolist(),
+        vsizes=sizes.tolist(),
+        tx_counts=counts.tolist() if counts is not None else None,
+    )
+
+
+def degrade_dataset(
+    dataset: Dataset,
+    schedule: FaultSchedule,
+    observer: Optional[str] = None,
+) -> Dataset:
+    """A copy of ``dataset`` as a faulty observer would have curated it.
+
+    ``observer`` names the fault channels to apply; it defaults to the
+    dataset's recorded observer name so that engine-injected and
+    post-hoc degradation select identical lost sets.
+    """
+    if schedule.pool_loss_rate or schedule.stale_block_rate or schedule.stale_block_indexes:
+        raise ValueError(
+            "chain-side faults (pool loss, stale blocks) cannot be applied "
+            "post hoc; run the engine with faults=... instead"
+        )
+    name = observer or str(dataset.metadata.get("observer", dataset.name))
+    if schedule.is_null:
+        return dataset
+    pairs = [
+        (record.broadcast_time, txid)
+        for txid, record in dataset.tx_records.items()
+    ]
+    lost = schedule.observer_lost_txids(name, pairs)
+    down = schedule.downtime_for(name)
+    partitions = schedule.partitions_for(name)
+    block_times = dataset.block_times()
+
+    records = _degrade_records(dataset, lost, down, partitions, block_times)
+    snapshots = _degrade_snapshots(dataset, records, down)
+    size_series = _degrade_size_series(dataset, records, down, block_times)
+
+    metadata = dict(dataset.metadata)
+    metadata["faults"] = schedule.describe()
+    metadata["degraded"] = True
+    return Dataset(
+        name=dataset.name,
+        chain=dataset.chain,
+        snapshots=snapshots,
+        tx_records=records,
+        block_pools=dataset.block_pools,
+        pool_wallets=dataset.pool_wallets,
+        size_series=size_series,
+        metadata=metadata,
+    )

@@ -214,6 +214,21 @@ class Mempool:
                 removed += 1
         return removed
 
+    def clear(self) -> int:
+        """Drop every entry — a node crash/restart wipes the mempool.
+
+        Rejection counters survive (they model operator-visible logs);
+        everything held in memory is gone.  Returns the entry count
+        dropped.
+        """
+        dropped = len(self._entries)
+        self._entries.clear()
+        self._total_vsize = 0
+        self._total_fees = 0
+        self._heap.clear()
+        self._spenders.clear()
+        return dropped
+
     def expire(self, now: float) -> list[MempoolEntry]:
         """Evict entries older than ``expiry_seconds``; return them."""
         cutoff = now - self.expiry_seconds

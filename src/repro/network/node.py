@@ -11,7 +11,7 @@ mempool snapshots.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Iterable, Optional, Sequence, Tuple
 
 from ..chain.block import Block
 from ..chain.constants import DEFAULT_MIN_RELAY_FEE_RATE
@@ -52,6 +52,44 @@ class FullNode:
         #: First admission time per txid — survives mempool removal, so
         #: measurement pipelines can join arrivals with commits.
         self.arrival_log: dict[str, float] = {}
+        # Fault profile: [start, end) windows the node is offline, plus
+        # crash instants after which it restarts with a wiped mempool.
+        self._offline_windows: Tuple[Tuple[float, float], ...] = ()
+        self._pending_crashes: list[float] = []
+        self.crash_count = 0
+
+    # ------------------------------------------------------------------
+    # Fault profile
+    # ------------------------------------------------------------------
+    def set_fault_profile(
+        self,
+        offline_windows: Iterable[Tuple[float, float]] = (),
+        crash_times: Sequence[float] = (),
+    ) -> None:
+        """Install downtime windows and crash/restart times.
+
+        While offline the node neither receives gossip nor records
+        snapshots — deliveries simply never arrive.  A crash wipes the
+        mempool and inventory sets (a restarted node resyncs from its
+        peers' *future* gossip; what it held in memory is gone), but
+        keeps ``arrival_log``, which models the on-disk measurement log.
+        """
+        self._offline_windows = tuple(
+            (float(start), float(end)) for start, end in offline_windows
+        )
+        self._pending_crashes = sorted(float(t) for t in crash_times)
+
+    def is_offline(self, now: float) -> bool:
+        """True while ``now`` falls inside an offline window."""
+        return any(start <= now < end for start, end in self._offline_windows)
+
+    def _service_crashes(self, now: float) -> None:
+        while self._pending_crashes and self._pending_crashes[0] <= now:
+            self._pending_crashes.pop(0)
+            self.mempool.clear()
+            self._seen_txids.clear()
+            self._seen_blocks.clear()
+            self.crash_count += 1
 
     @property
     def name(self) -> str:
@@ -87,6 +125,9 @@ class FullNode:
         not relayed, which is how norm III propagates through the
         network: low-fee transactions simply never reach most miners.
         """
+        self._service_crashes(now)
+        if self.is_offline(now):
+            return False
         if tx.txid in self._seen_txids:
             return False
         self._seen_txids.add(tx.txid)
@@ -97,6 +138,9 @@ class FullNode:
 
     def accept_block(self, block: Block, now: float) -> bool:
         """Handle a block announcement; True if new (relay onward)."""
+        self._service_crashes(now)
+        if self.is_offline(now):
+            return False
         if block.block_hash in self._seen_blocks:
             return False
         self._seen_blocks.add(block.block_hash)
@@ -113,6 +157,9 @@ class FullNode:
     def maybe_snapshot(self, now: float) -> bool:
         """Record a snapshot if this node observes and one is due."""
         if self._recorder is None:
+            return False
+        self._service_crashes(now)
+        if self.is_offline(now):
             return False
         if not self._recorder.due(now):
             return False

@@ -16,7 +16,7 @@ the two agree on small inputs.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence
+from typing import Callable, Iterable, Optional, Sequence
 
 import networkx as nx
 import numpy as np
@@ -26,6 +26,10 @@ from ..chain.transaction import Transaction
 from .events import EventScheduler
 from .latency import BlockRelayLatency, LatencyModel, LogNormalLatency
 from .node import FullNode
+
+#: Fault hook: (kind, sender, receiver, ident, now) -> True to drop the
+#: delivery.  ``kind`` is "tx" or "block", ``ident`` the txid/hash.
+DropFilter = Callable[[str, str, str, str, float], bool]
 
 
 class P2PNetwork:
@@ -46,9 +50,22 @@ class P2PNetwork:
         self._rng = rng
         self._tx_latency = tx_latency or LogNormalLatency()
         self._block_latency = block_latency or BlockRelayLatency()
+        self._drop_filter: Optional[DropFilter] = None
 
     def node(self, name: str) -> FullNode:
         return self._by_name[name]
+
+    def set_drop_filter(self, drop_filter: Optional[DropFilter]) -> None:
+        """Install a per-hop fault hook consulted before each delivery.
+
+        The filter sees ``(kind, sender, receiver, ident, now)`` and
+        returns True to silently drop that single hop — modelling lossy
+        links, eclipse attacks and partitions without touching node
+        logic.  Gossip redundancy means a dropped hop is usually healed
+        by another path; a partition mask that drops *every* hop into a
+        node set is not.
+        """
+        self._drop_filter = drop_filter
 
     # ------------------------------------------------------------------
     # Topology
@@ -63,7 +80,12 @@ class P2PNetwork:
         count = len(self.nodes)
         if count < 2:
             return
-        degree = min(target_degree, count - 1)
+        if target_degree < 1 or target_degree >= count:
+            raise ValueError(
+                f"target_degree must be between 1 and {count - 1} "
+                f"(one less than the node count), got {target_degree}"
+            )
+        degree = target_degree
         if degree % 2 == 1:
             degree = max(degree - 1, 2) if count > 2 else 1
         if count <= 3 or degree < 2:
@@ -110,7 +132,11 @@ class P2PNetwork:
                 continue
             delay = self._tx_latency.delay(self._rng)
 
-            def deliver(sched: EventScheduler, peer: FullNode = peer) -> None:
+            def deliver(sched: EventScheduler, peer: FullNode = peer, sender: FullNode = sender) -> None:
+                if self._drop_filter is not None and self._drop_filter(
+                    "tx", sender.name, peer.name, tx.txid, sched.now
+                ):
+                    return
                 if peer.accept_transaction(tx, sched.now):
                     self._relay_tx(tx, peer, sched)
 
@@ -129,7 +155,11 @@ class P2PNetwork:
         for peer in sender.peers:
             delay = self._block_latency.delay(self._rng)
 
-            def deliver(sched: EventScheduler, peer: FullNode = peer) -> None:
+            def deliver(sched: EventScheduler, peer: FullNode = peer, sender: FullNode = sender) -> None:
+                if self._drop_filter is not None and self._drop_filter(
+                    "block", sender.name, peer.name, block.block_hash, sched.now
+                ):
+                    return
                 if peer.accept_block(block, sched.now):
                     self._relay_block(block, peer, sched)
 

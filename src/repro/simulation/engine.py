@@ -23,8 +23,9 @@ Flow per scenario:
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 import numpy as np
 
@@ -49,6 +50,10 @@ from ..mining.acceleration import AccelerationService
 from ..mining.pool import MiningPool, make_directory, normalize_hash_shares
 from .rng import RngStreams
 from .workload import PlannedTx
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults.checkpoint import CheckpointConfig
+    from ..faults.schedule import FaultSchedule
 
 
 @dataclass
@@ -130,6 +135,7 @@ class SimulationEngine:
         streams: RngStreams,
         services: Sequence[AccelerationService] = (),
         schedule: Optional[Sequence[tuple[float, int]]] = None,
+        faults: Optional["FaultSchedule"] = None,
     ) -> None:
         if not pools:
             raise ValueError("need at least one mining pool")
@@ -142,6 +148,11 @@ class SimulationEngine:
         self.services = {service.name: service for service in services}
         self._shares = np.asarray(normalize_hash_shares(self.pools), dtype=float)
         self._schedule = list(schedule) if schedule is not None else None
+        # A null schedule is normalised away: "no faults" and "zero-rate
+        # faults" must be indistinguishable, byte for byte (asserted in
+        # tests/test_seed_robustness.py).  Fault draws come from their
+        # own RNG root, never from `streams`.
+        self.faults = faults if faults is not None and not faults.is_null else None
 
     # ------------------------------------------------------------------
     # Arrival-time machinery
@@ -198,8 +209,19 @@ class SimulationEngine:
     # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
-    def run(self, plan: Sequence[PlannedTx]) -> SimulationResult:
-        """Execute the scenario over ``plan`` and curate datasets."""
+    def run(
+        self,
+        plan: Sequence[PlannedTx],
+        checkpoint: Optional["CheckpointConfig"] = None,
+    ) -> SimulationResult:
+        """Execute the scenario over ``plan`` and curate datasets.
+
+        When ``checkpoint`` is given, loop state (blocks, commitments,
+        RNG streams, acceleration order books) is persisted atomically
+        every ``checkpoint.every_blocks`` blocks, and an existing
+        checkpoint at ``checkpoint.path`` resumes the run mid-schedule,
+        reproducing the uninterrupted run exactly.
+        """
         plan = sorted(plan, key=lambda p: (p.broadcast_time, p.tx.txid))
         count = len(plan)
         pool_delays = self._pool_delays(count)
@@ -207,7 +229,27 @@ class SimulationEngine:
         broadcast_times = np.asarray([p.broadcast_time for p in plan], dtype=float)
         pool_arrivals = broadcast_times[:, None] + pool_delays
 
+        faults = self.faults
+        stale_mask = None
+        if faults is not None:
+            # Chain-side relay loss: a transaction that never reaches a
+            # pool simply never becomes eligible for its blocks.
+            if faults.pool_loss_rate > 0.0:
+                pairs = [(p.broadcast_time, p.tx.txid) for p in plan]
+                for pool_index, pool in enumerate(self.pools):
+                    lost = faults.pool_lost_txids(pool.name, pairs)
+                    if lost:
+                        mask = np.fromiter(
+                            (p.tx.txid in lost for p in plan),
+                            dtype=bool,
+                            count=count,
+                        )
+                        pool_arrivals[mask, pool_index] = np.inf
+
         schedule = self._block_schedule()
+        if faults is not None:
+            stale_candidates = faults.stale_mask(len(schedule))
+            stale_mask = stale_candidates if stale_candidates.any() else None
         mining_rng = self.streams.stream("mining/assembly")
 
         # Pending pool: index into `plan` for not-yet-committed txs,
@@ -269,7 +311,31 @@ class SimulationEngine:
                         now=planned.broadcast_time,
                     )
 
-        for height, (block_time, winner_index) in enumerate(schedule):
+        orphaned = 0
+        start_index = 0
+        fingerprint = None
+        if checkpoint is not None:
+            from ..faults.checkpoint import load_checkpoint
+
+            fingerprint = self._plan_fingerprint(plan, schedule)
+            state = load_checkpoint(checkpoint.path)
+            if state is not None:
+                start_index, plan_index, orphaned = self._restore_checkpoint(
+                    state,
+                    checkpoint,
+                    fingerprint,
+                    plan,
+                    pending,
+                    pending_spenders,
+                    committed_outpoints,
+                    committed,
+                    chain,
+                )
+
+        processed = 0
+        for index, (block_time, winner_index) in enumerate(schedule):
+            if index < start_index:
+                continue
             # Admit all broadcasts up to this discovery.
             while plan_index < count and plan[plan_index].broadcast_time <= block_time:
                 admit(plan[plan_index], plan_index)
@@ -283,23 +349,170 @@ class SimulationEngine:
                     pending, plan, pool_arrivals, winner_index, block_time
                 )
             block = winner.assemble_block(
-                height=height,
+                height=len(chain),
                 prev_hash=chain.tip_hash,
                 timestamp=block_time,
                 entries=entries,
             )
-            chain.append(block)
-            for position, tx in enumerate(block.transactions):
-                committed[tx.txid] = (height, position, block_time)
-                pending.pop(tx.txid, None)
-                for txin in tx.inputs:
-                    committed_outpoints.add(txin.prevout)
-                    if pending_spenders.get(txin.prevout) == tx.txid:
-                        del pending_spenders[txin.prevout]
+            if stale_mask is not None and stale_mask[index]:
+                # Stale/reorged: the block lost the propagation race and
+                # is never committed; its transactions stay pending and
+                # re-enter the next winner's candidate set.
+                orphaned += 1
+            else:
+                chain.append(block)
+                for position, tx in enumerate(block.transactions):
+                    committed[tx.txid] = (block.height, position, block_time)
+                    pending.pop(tx.txid, None)
+                    for txin in tx.inputs:
+                        committed_outpoints.add(txin.prevout)
+                        if pending_spenders.get(txin.prevout) == tx.txid:
+                            del pending_spenders[txin.prevout]
+
+            processed += 1
+            if checkpoint is not None:
+                abort = (
+                    checkpoint.abort_after_blocks is not None
+                    and processed >= checkpoint.abort_after_blocks
+                )
+                if abort or processed % checkpoint.every_blocks == 0:
+                    self._write_checkpoint(
+                        checkpoint,
+                        fingerprint,
+                        index + 1,
+                        plan_index,
+                        orphaned,
+                        pending,
+                        committed,
+                        chain,
+                    )
+                if abort:
+                    from ..faults.checkpoint import SimulationInterrupted
+
+                    raise SimulationInterrupted(
+                        f"aborted after {processed} blocks "
+                        f"(checkpoint at {checkpoint.path})"
+                    )
 
         return self._curate(
-            plan, broadcast_times, observer_delays, committed, chain
+            plan, broadcast_times, observer_delays, committed, chain, orphaned
         )
+
+    # ------------------------------------------------------------------
+    # Checkpoint/resume
+    # ------------------------------------------------------------------
+    def _plan_fingerprint(
+        self, plan: Sequence[PlannedTx], schedule: Sequence[tuple[float, int]]
+    ) -> str:
+        """Digest binding a checkpoint to one (seed, plan, schedule, faults)."""
+        digest = hashlib.sha256()
+        digest.update(str(self.streams.root_seed).encode("utf-8"))
+        digest.update(str(len(schedule)).encode("utf-8"))
+        if schedule:
+            digest.update(repr(schedule[0]).encode("utf-8"))
+            digest.update(repr(schedule[-1]).encode("utf-8"))
+        if self.faults is not None:
+            digest.update(
+                repr(sorted(self.faults.describe().items())).encode("utf-8")
+            )
+        for planned in plan:
+            digest.update(planned.tx.txid.encode("utf-8"))
+        return digest.hexdigest()[:32]
+
+    def _write_checkpoint(
+        self,
+        checkpoint: "CheckpointConfig",
+        fingerprint: str,
+        next_index: int,
+        plan_index: int,
+        orphaned: int,
+        pending: dict[str, int],
+        committed: dict[str, tuple[int, int, float]],
+        chain: Blockchain,
+    ) -> None:
+        from ..datasets.io import _encode_block
+        from ..faults.checkpoint import write_checkpoint
+
+        payload = {
+            "version": 1,
+            "fingerprint": fingerprint,
+            "next_index": next_index,
+            "plan_index": plan_index,
+            "orphaned": orphaned,
+            "blocks": [_encode_block(block) for block in chain],
+            "committed": {
+                txid: list(value) for txid, value in committed.items()
+            },
+            "pending": sorted(pending),
+            "streams": self.streams.state_dict(),
+            "extra_streams": [
+                registry.state_dict() for registry in checkpoint.extra_streams
+            ],
+            "services": {
+                name: service.export_orders()
+                for name, service in sorted(self.services.items())
+            },
+            "pool_address_cursors": {
+                pool.name: pool._next_address for pool in self.pools
+            },
+        }
+        write_checkpoint(checkpoint.path, payload)
+
+    def _restore_checkpoint(
+        self,
+        state: dict,
+        checkpoint: "CheckpointConfig",
+        fingerprint: str,
+        plan: Sequence[PlannedTx],
+        pending: dict[str, int],
+        pending_spenders: dict[object, str],
+        committed_outpoints: set,
+        committed: dict[str, tuple[int, int, float]],
+        chain: Blockchain,
+    ) -> tuple[int, int, int]:
+        from ..datasets.io import _decode_block
+        from ..faults.checkpoint import CheckpointError
+
+        if state.get("fingerprint") != fingerprint:
+            raise CheckpointError(
+                f"checkpoint {checkpoint.path} belongs to a different run "
+                "(seed, plan, schedule or fault configuration differ)"
+            )
+        txid_to_index = {p.tx.txid: i for i, p in enumerate(plan)}
+        try:
+            for payload in state["blocks"]:
+                chain.append(_decode_block(payload, chain.tip_hash))
+            for txid, value in state["committed"].items():
+                height, position, block_time = value
+                committed[txid] = (int(height), int(position), float(block_time))
+                for txin in plan[txid_to_index[txid]].tx.inputs:
+                    committed_outpoints.add(txin.prevout)
+            for txid in state["pending"]:
+                index = txid_to_index[txid]
+                pending[txid] = index
+                for txin in plan[index].tx.inputs:
+                    pending_spenders[txin.prevout] = txid
+            self.streams.load_state_dict(state["streams"])
+            for registry, payload in zip(
+                checkpoint.extra_streams, state["extra_streams"]
+            ):
+                registry.load_state_dict(payload)
+            for name, orders in state["services"].items():
+                service = self.services.get(name)
+                if service is not None:
+                    service.restore_orders(orders)
+            cursors = state["pool_address_cursors"]
+            for pool in self.pools:
+                pool._next_address = int(cursors[pool.name])
+            return (
+                int(state["next_index"]),
+                int(state["plan_index"]),
+                int(state["orphaned"]),
+            )
+        except (KeyError, IndexError, TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"malformed checkpoint {checkpoint.path}: {exc!r}"
+            ) from exc
 
     def _eligible_entries(
         self,
@@ -349,6 +562,7 @@ class SimulationEngine:
         observer_delays: dict[str, np.ndarray],
         committed: dict[str, tuple[int, int, float]],
         chain: Blockchain,
+        orphaned: int = 0,
     ) -> SimulationResult:
         directory = make_directory(self.pools)
         attributor = PoolAttributor(directory)
@@ -370,6 +584,7 @@ class SimulationEngine:
                 chain,
                 block_pools,
                 pool_wallets,
+                orphaned,
             )
             datasets[observer.name] = dataset
         primary = datasets[self.observers[0].name]
@@ -385,10 +600,28 @@ class SimulationEngine:
         chain: Blockchain,
         block_pools: dict[int, str],
         pool_wallets: dict[str, frozenset[str]],
+        orphaned: int = 0,
     ) -> Dataset:
         cfg = self.config
         arrival_times = broadcast_times + delays
         block_delay_rng = self.streams.fresh(f"latency/blocks/{observer.name}")
+
+        # Observer-side faults.  The removal-delay draw below is keyed
+        # on the *fault-free* arrival so the no-fault draw sequence is
+        # replayed exactly: engine-injected faults and post-hoc
+        # degradation (repro.faults.degrade) then agree tx for tx.
+        faults = self.faults
+        lost: frozenset = frozenset()
+        down: tuple = ()
+        partitions: tuple = ()
+        effective_arrivals = arrival_times
+        if faults is not None:
+            pairs = [(p.broadcast_time, p.tx.txid) for p in plan]
+            lost = faults.observer_lost_txids(observer.name, pairs)
+            down = faults.downtime_for(observer.name)
+            partitions = faults.partitions_for(observer.name)
+            if lost or down or partitions:
+                effective_arrivals = arrival_times.copy()
 
         tx_records: dict[str, TxRecord] = {}
         add_events: list[tuple[float, int]] = []  # (time, plan index)
@@ -397,7 +630,22 @@ class SimulationEngine:
             tx = planned.tx
             commit = committed.get(tx.txid)
             accepted = tx.fee_rate >= observer.min_fee_rate
-            observer_arrival = float(arrival_times[index]) if accepted else None
+            base_arrival = float(arrival_times[index]) if accepted else None
+            observer_arrival = base_arrival
+            if observer_arrival is not None and faults is not None:
+                if tx.txid in lost:
+                    observer_arrival = None
+                elif any(w.contains(observer_arrival) for w in down):
+                    observer_arrival = None
+                else:
+                    for window in partitions:
+                        if window.contains(observer_arrival):
+                            if commit is not None and commit[2] <= window.end:
+                                observer_arrival = None
+                            else:
+                                observer_arrival = window.end
+                                effective_arrivals[index] = window.end
+                            break
             commit_height = commit[0] if commit else None
             commit_position = commit[1] if commit else None
             tx_records[tx.txid] = TxRecord(
@@ -410,21 +658,29 @@ class SimulationEngine:
                 commit_position=commit_position,
                 labels=planned.labels,
             )
+            if base_arrival is not None and base_arrival <= cfg.duration:
+                if commit is not None:
+                    delay = float(block_delay_rng.lognormal(np.log(0.4), 0.5))
             if observer_arrival is None or observer_arrival > cfg.duration:
                 continue
             add_events.append((observer_arrival, index))
             if commit is not None:
-                removal = commit[2] + float(
-                    block_delay_rng.lognormal(np.log(0.4), 0.5)
-                )
-                removal = max(removal, observer_arrival)
+                removal = max(commit[2] + delay, observer_arrival)
             else:
                 removal = observer_arrival + cfg.mempool_expiry
             remove_events.append((removal, index))
 
         size_series, snapshots = self._reconstruct_mempool(
-            observer, plan, add_events, remove_events, arrival_times
+            observer, plan, add_events, remove_events, effective_arrivals, down
         )
+        metadata = {
+            "observer": observer.name,
+            "min_fee_rate": observer.min_fee_rate,
+            "duration": cfg.duration,
+        }
+        if faults is not None:
+            metadata["faults"] = faults.describe()
+            metadata["orphaned_blocks"] = orphaned
         return Dataset(
             name=observer.name,
             chain=chain,
@@ -433,11 +689,7 @@ class SimulationEngine:
             block_pools=block_pools,
             pool_wallets=pool_wallets,
             size_series=size_series,
-            metadata={
-                "observer": observer.name,
-                "min_fee_rate": observer.min_fee_rate,
-                "duration": cfg.duration,
-            },
+            metadata=metadata,
         )
 
     def _reconstruct_mempool(
@@ -447,8 +699,15 @@ class SimulationEngine:
         add_events: list[tuple[float, int]],
         remove_events: list[tuple[float, int]],
         arrival_times: np.ndarray,
+        down: tuple = (),
     ) -> tuple[SizeSeries, SnapshotStore]:
-        """Sweep add/remove events into per-tick sizes + sampled snapshots."""
+        """Sweep add/remove events into per-tick sizes + sampled snapshots.
+
+        ``down`` windows (observer offline) suppress *recording* at the
+        affected ticks — the size series gets a gap and sampled
+        snapshots are dropped — while the event sweep keeps running, so
+        the state at the first tick after an outage is exact.
+        """
         cfg = self.config
         add_events.sort()
         remove_events.sort()
@@ -463,6 +722,7 @@ class SimulationEngine:
         ) if sample_count else set()
 
         live: set[int] = set()
+        times: list[float] = []
         sizes: list[int] = []
         counts: list[int] = []
         total_vsize = 0
@@ -481,6 +741,9 @@ class SimulationEngine:
                     live.remove(index)
                     total_vsize -= plan[index].tx.vsize
                 remove_ptr += 1
+            if down and any(w.contains(float(tick)) for w in down):
+                continue
+            times.append(float(tick))
             sizes.append(total_vsize)
             counts.append(len(live))
             if tick_index in sampled_ticks:
@@ -494,7 +757,7 @@ class SimulationEngine:
                     for index in sorted(live)
                 )
                 snapshots.append(MempoolSnapshot(time=float(tick), txs=txs))
-        series = SizeSeries(times=list(tick_times), vsizes=sizes, tx_counts=counts)
+        series = SizeSeries(times=times, vsizes=sizes, tx_counts=counts)
         return series, SnapshotStore(snapshots)
 
 
@@ -505,6 +768,7 @@ def run_scenario(
     plan: Sequence[PlannedTx],
     streams: RngStreams,
     services: Sequence[AccelerationService] = (),
+    faults: Optional["FaultSchedule"] = None,
 ) -> SimulationResult:
     """One-call convenience wrapper around :class:`SimulationEngine`."""
     engine = SimulationEngine(
@@ -513,5 +777,6 @@ def run_scenario(
         observers=observers,
         streams=streams,
         services=services,
+        faults=faults,
     )
     return engine.run(plan)

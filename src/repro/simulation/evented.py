@@ -14,7 +14,7 @@ conformance) agree, validating the fast path's shortcuts.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from ..chain.attribution import PoolAttributor
 from ..chain.blockchain import Blockchain
@@ -30,6 +30,9 @@ from ..network.p2p import P2PNetwork, build_network
 from .engine import generate_block_schedule
 from .rng import RngStreams
 from .workload import PlannedTx
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults.schedule import FaultSchedule
 
 
 @dataclass
@@ -53,12 +56,14 @@ class EventedSimulation:
         pools: Sequence[MiningPool],
         streams: RngStreams,
         tx_latency: Optional[LatencyModel] = None,
+        faults: Optional["FaultSchedule"] = None,
     ) -> None:
         if not pools:
             raise ValueError("need at least one mining pool")
         self.config = config
         self.pools = list(pools)
         self.streams = streams
+        self.faults = faults if faults is not None and not faults.is_null else None
         rng = streams.stream("evented/topology")
         self.observer = make_observer(
             "observer",
@@ -81,6 +86,15 @@ class EventedSimulation:
             target_degree=config.target_degree,
             tx_latency=tx_latency,
         )
+        if self.faults is not None:
+            for node in self.network.nodes:
+                windows = [
+                    (w.start, w.end)
+                    for w in self.faults.downtime_for(node.name)
+                ]
+                crashes = self.faults.crash_times_for(node.name)
+                if windows or crashes:
+                    node.set_fault_profile(windows, crashes)
 
     # ------------------------------------------------------------------
     def run(
@@ -97,6 +111,26 @@ class EventedSimulation:
         scheduler = EventScheduler()
         inject_rng = self.streams.stream("evented/injection")
         self.network.schedule_snapshots(scheduler, end_time=self.config.duration)
+
+        faults = self.faults
+        if faults is not None:
+            # Observer relay loss uses the same canonical channel the
+            # fast path consults, so both substrates censor the exact
+            # same txid set (asserted in tests/test_faults_pipeline.py).
+            pairs = [(p.broadcast_time, p.tx.txid) for p in plan]
+            lost = faults.observer_lost_txids(self.observer.name, pairs)
+            hop_rng = faults.channel_rng("per-hop") if faults.per_hop_loss_rate else None
+
+            def drop(kind: str, sender: str, receiver: str, ident: str, now: float) -> bool:
+                if kind == "tx" and receiver == self.observer.name and ident in lost:
+                    return True
+                if faults.in_partition(sender, now) or faults.in_partition(receiver, now):
+                    return True
+                if hop_rng is not None and hop_rng.random() < faults.per_hop_loss_rate:
+                    return True
+                return False
+
+            self.network.set_drop_filter(drop)
 
         for planned in sorted(plan, key=lambda p: p.broadcast_time):
             origin = self.relays[
@@ -116,32 +150,42 @@ class EventedSimulation:
                 normalize_hash_shares(self.pools),
                 self.streams.stream("evented/mining"),
             )
-        for height, (block_time, winner_index) in enumerate(schedule):
+        stale_mask = faults.stale_mask(len(schedule)) if faults is not None else None
+        orphaned = [0]
+        for index, (block_time, winner_index) in enumerate(schedule):
             winner = self.pools[winner_index]
             node = self.pool_nodes[winner.name]
+            stale = bool(stale_mask[index]) if stale_mask is not None else False
 
             def mine(
                 s: EventScheduler,
-                height=height,
                 winner=winner,
                 node=node,
+                stale=stale,
             ) -> None:
                 block = winner.assemble_block(
-                    height=height,
+                    height=len(chain),
                     prev_hash=chain.tip_hash,
                     timestamp=s.now,
                     entries=node.mempool.entries(),
                 )
+                if stale:
+                    # Lost the propagation race: never announced, its
+                    # transactions stay in every mempool.
+                    orphaned[0] += 1
+                    return
                 chain.append(block)
                 self.network.broadcast_block(block, node, s)
 
             scheduler.schedule(block_time, mine)
 
         scheduler.run_until(self.config.duration)
-        return self._curate(plan, chain)
+        return self._curate(plan, chain, orphaned[0])
 
     # ------------------------------------------------------------------
-    def _curate(self, plan: Sequence[PlannedTx], chain: Blockchain) -> Dataset:
+    def _curate(
+        self, plan: Sequence[PlannedTx], chain: Blockchain, orphaned: int = 0
+    ) -> Dataset:
         directory = make_directory(self.pools)
         attributor = PoolAttributor(directory)
         block_pools = {
@@ -175,7 +219,17 @@ class EventedSimulation:
             block_pools=block_pools,
             pool_wallets={pool.name: pool.wallet_addresses for pool in self.pools},
             size_series=size_series,
-            metadata={"path": "evented", "duration": self.config.duration},
+            metadata=(
+                {"path": "evented", "duration": self.config.duration}
+                if self.faults is None
+                else {
+                    "path": "evented",
+                    "duration": self.config.duration,
+                    "observer": self.observer.name,
+                    "faults": self.faults.describe(),
+                    "orphaned_blocks": orphaned,
+                }
+            ),
         )
 
 
@@ -185,11 +239,13 @@ def run_evented_scenario(
     duration: float,
     seed: int = 31,
     block_interval: float = TARGET_BLOCK_INTERVAL,
+    faults: Optional["FaultSchedule"] = None,
 ) -> Dataset:
     """One-call evented run over a prepared plan."""
     simulation = EventedSimulation(
         EventedConfig(duration=duration, block_interval=block_interval),
         pools,
         RngStreams(seed),
+        faults=faults,
     )
     return simulation.run(plan)

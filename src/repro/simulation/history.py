@@ -20,7 +20,7 @@ straight into the output tables.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 import numpy as np
 
@@ -31,6 +31,9 @@ from ..chain.transaction import TransactionBuilder, coinbase_value, make_coinbas
 from ..mempool.mempool import MempoolEntry
 from ..mining.policies import FeeRatePolicy, OrderingPolicy, PriorityPolicy
 from .rng import RngStreams
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults.checkpoint import CheckpointConfig
 
 #: Blocks per calendar year at the 10-minute target.
 BLOCKS_PER_YEAR = 52_560
@@ -198,6 +201,7 @@ def generate_era_blocks(
     txs_per_block: int = 120,
     seed: int = 1_2016,
     switch_year: float = NORM_SWITCH_YEAR,
+    checkpoint: Optional["CheckpointConfig"] = None,
 ) -> list[EraBlock]:
     """Blocks mined under the era-appropriate ordering norm.
 
@@ -205,6 +209,12 @@ def generate_era_blocks(
     (:class:`PriorityPolicy`); from it onward they order by fee-rate.
     Each block draws a fresh synthetic mempool so PPE reflects ordering
     policy, not workload idiosyncrasies.
+
+    ``checkpoint`` makes the generator crash-tolerant: the RNG stream,
+    txid/address counters, chain state and completed blocks persist
+    every ``checkpoint.every_blocks`` blocks, and an existing
+    checkpoint resumes mid-history with output identical to an
+    uninterrupted run (tests/test_checkpoint.py).
     """
     streams = RngStreams(seed)
     rng = streams.stream("era")
@@ -214,46 +224,120 @@ def generate_era_blocks(
     post_policy = FeeRatePolicy(package_selection=False)
 
     months = int(round((end_year - start_year) * 12))
+    total_blocks = months * blocks_per_month
     era_blocks: list[EraBlock] = []
     prev_hash = GENESIS_HASH
     height = 0
     nonce = 0
-    for month in range(months):
+    start_block = 0
+    fingerprint = None
+    if checkpoint is not None:
+        from ..datasets.io import _decode_block
+        from ..faults.checkpoint import CheckpointError, load_checkpoint
+
+        fingerprint = (
+            f"era/{seed}/{start_year}/{end_year}/"
+            f"{blocks_per_month}/{txs_per_block}/{switch_year}"
+        )
+        state = load_checkpoint(checkpoint.path)
+        if state is not None:
+            if state.get("fingerprint") != fingerprint:
+                raise CheckpointError(
+                    f"checkpoint {checkpoint.path} belongs to a different "
+                    "era-history configuration"
+                )
+            try:
+                streams.load_state_dict(state["streams"])
+                # Counters feed the txid/address digests; restoring them
+                # keeps resumed identifiers identical to an
+                # uninterrupted run.
+                builder._counter = int(state["builder_counter"])
+                addresses._counter = int(state["address_counter"])
+                height = int(state["height"])
+                nonce = int(state["nonce"])
+                prev_hash = str(state["prev_hash"])
+                start_block = int(state["next_block"])
+                linking_hash = GENESIS_HASH
+                for year, payload in zip(state["years"], state["blocks"]):
+                    block = _decode_block(payload, linking_hash)
+                    era_blocks.append(EraBlock(year=float(year), block=block))
+                    linking_hash = block.block_hash
+            except (KeyError, IndexError, TypeError, ValueError) as exc:
+                raise CheckpointError(
+                    f"malformed checkpoint {checkpoint.path}: {exc!r}"
+                ) from exc
+
+    processed = 0
+    for number in range(start_block, total_blocks):
+        month = number // blocks_per_month
         year = start_year + month / 12.0
         policy: OrderingPolicy = pre_policy if year < switch_year else post_policy
-        for _ in range(blocks_per_month):
-            entries = []
-            for _ in range(txs_per_block):
-                vsize = int(rng.integers(150, 2000))
-                rate = float(rng.lognormal(np.log(20.0), 1.0))
-                nonce += 1
-                tx = builder.build(
-                    to_address=addresses.next(),
-                    value=int(rng.integers(10**4, 10**9)),
-                    fee=max(int(rate * vsize), 1),
-                    vsize=vsize,
-                    nonce=nonce,
+        entries = []
+        for _ in range(txs_per_block):
+            vsize = int(rng.integers(150, 2000))
+            rate = float(rng.lognormal(np.log(20.0), 1.0))
+            nonce += 1
+            tx = builder.build(
+                to_address=addresses.next(),
+                value=int(rng.integers(10**4, 10**9)),
+                fee=max(int(rate * vsize), 1),
+                vsize=vsize,
+                nonce=nonce,
+            )
+            entries.append(MempoolEntry(tx=tx, arrival_time=0.0))
+        template = policy.build(entries, max_vsize=MAX_BLOCK_VSIZE, reserved_vsize=200)
+        timestamp = (year - 2009.0) * 365.25 * 86400.0 + height
+        coinbase = make_coinbase(
+            reward_address=addresses.next(),
+            value=coinbase_value(block_subsidy(_height_for_year(int(year))), template.total_fee),
+            marker="/era/",
+            height=height,
+            vsize=200,
+        )
+        block = build_block(
+            height=height,
+            prev_hash=prev_hash,
+            timestamp=timestamp,
+            coinbase=coinbase,
+            transactions=template.transactions,
+        )
+        era_blocks.append(EraBlock(year=year, block=block))
+        prev_hash = block.block_hash
+        height += 1
+
+        processed += 1
+        if checkpoint is not None:
+            abort = (
+                checkpoint.abort_after_blocks is not None
+                and processed >= checkpoint.abort_after_blocks
+            )
+            if abort or processed % checkpoint.every_blocks == 0:
+                from ..datasets.io import _encode_block
+                from ..faults.checkpoint import write_checkpoint
+
+                write_checkpoint(
+                    checkpoint.path,
+                    {
+                        "version": 1,
+                        "fingerprint": fingerprint,
+                        "next_block": number + 1,
+                        "height": height,
+                        "nonce": nonce,
+                        "prev_hash": prev_hash,
+                        "builder_counter": builder._counter,
+                        "address_counter": addresses._counter,
+                        "streams": streams.state_dict(),
+                        "years": [eb.year for eb in era_blocks],
+                        "blocks": [_encode_block(eb.block) for eb in era_blocks],
+                    },
                 )
-                entries.append(MempoolEntry(tx=tx, arrival_time=0.0))
-            template = policy.build(entries, max_vsize=MAX_BLOCK_VSIZE, reserved_vsize=200)
-            timestamp = (year - 2009.0) * 365.25 * 86400.0 + height
-            coinbase = make_coinbase(
-                reward_address=addresses.next(),
-                value=coinbase_value(block_subsidy(_height_for_year(int(year))), template.total_fee),
-                marker="/era/",
-                height=height,
-                vsize=200,
-            )
-            block = build_block(
-                height=height,
-                prev_hash=prev_hash,
-                timestamp=timestamp,
-                coinbase=coinbase,
-                transactions=template.transactions,
-            )
-            era_blocks.append(EraBlock(year=year, block=block))
-            prev_hash = block.block_hash
-            height += 1
+            if abort:
+                from ..faults.checkpoint import SimulationInterrupted
+
+                raise SimulationInterrupted(
+                    f"aborted after {processed} era blocks "
+                    f"(checkpoint at {checkpoint.path})"
+                )
     return era_blocks
 
 

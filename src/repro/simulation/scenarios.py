@@ -22,8 +22,8 @@ findings as ground truth:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from ..chain.constants import TARGET_BLOCK_INTERVAL
 from ..mining.acceleration import AccelerationService
@@ -62,6 +62,10 @@ from .workload import (
     WorkloadGenerator,
 )
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults.checkpoint import CheckpointConfig
+    from ..faults.schedule import FaultSchedule
+
 #: Pools whose nodes accept sub-threshold transactions (§4.2.3 found
 #: F2Pool, ViaBTC and BTC.com committing low/zero-fee transactions).
 ZERO_FLOOR_POOLS = frozenset({"F2Pool", "ViaBTC", "BTC.com"})
@@ -91,9 +95,27 @@ class Scenario:
     observers: list[ObserverConfig]
     workload_config: WorkloadConfig
     services: list[AccelerationService] = field(default_factory=list)
+    #: Optional fault schedule injected into the engine run.  Fault
+    #: draws use the schedule's own RNG root, so a zero-rate schedule
+    #: yields byte-identical artifacts to no schedule at all.
+    faults: Optional["FaultSchedule"] = None
+    #: The RNG registry the builder wired policy jitter from, captured
+    #: so checkpoint/resume can persist those streams too.
+    policy_streams: Optional[RngStreams] = None
 
-    def run(self) -> SimulationResult:
-        """Generate the workload and simulate to a curated dataset."""
+    def with_faults(self, faults: Optional["FaultSchedule"]) -> "Scenario":
+        """A copy of this scenario with ``faults`` installed."""
+        return replace(self, faults=faults)
+
+    def run(
+        self, checkpoint: Optional["CheckpointConfig"] = None
+    ) -> SimulationResult:
+        """Generate the workload and simulate to a curated dataset.
+
+        ``checkpoint`` enables periodic crash-tolerant checkpoints (and
+        resume from an existing one); the builder's policy-jitter
+        streams are persisted alongside the engine's own.
+        """
         import numpy as np
 
         streams = RngStreams(self.seed)
@@ -118,8 +140,14 @@ class Scenario:
             streams=streams,
             services=self.services,
             schedule=schedule,
+            faults=self.faults,
         )
-        result = engine.run(plan)
+        if checkpoint is not None and self.policy_streams is not None:
+            if self.policy_streams not in checkpoint.extra_streams:
+                checkpoint.extra_streams = tuple(checkpoint.extra_streams) + (
+                    self.policy_streams,
+                )
+        result = engine.run(plan, checkpoint=checkpoint)
         injections = self.workload_config.injections
         for dataset in result.datasets_by_observer.values():
             dataset.metadata["scenario"] = self.name
@@ -215,7 +243,11 @@ def _capacity_per_second(engine_config: EngineConfig) -> float:
     return engine_config.max_block_vsize / engine_config.block_interval
 
 
-def dataset_a_scenario(seed: int = 2019_02_20, scale: float = 1.0) -> Scenario:
+def dataset_a_scenario(
+    seed: int = 2019_02_20,
+    scale: float = 1.0,
+    faults: Optional["FaultSchedule"] = None,
+) -> Scenario:
     """Analogue of dataset A: default node, three weeks of Feb-Mar 2019.
 
     The paper's node kept the default 1 sat/vB threshold and 8 peers;
@@ -247,10 +279,16 @@ def dataset_a_scenario(seed: int = 2019_02_20, scale: float = 1.0) -> Scenario:
         pools=pools,
         observers=observers,
         workload_config=workload,
+        faults=faults,
+        policy_streams=streams,
     )
 
 
-def dataset_b_scenario(seed: int = 2019_06_01, scale: float = 1.0) -> Scenario:
+def dataset_b_scenario(
+    seed: int = 2019_06_01,
+    scale: float = 1.0,
+    faults: Optional["FaultSchedule"] = None,
+) -> Scenario:
     """Analogue of dataset B: permissive node, June 2019.
 
     125 peers, no fee threshold, zero-fee transactions accepted;
@@ -287,10 +325,16 @@ def dataset_b_scenario(seed: int = 2019_06_01, scale: float = 1.0) -> Scenario:
         pools=pools,
         observers=observers,
         workload_config=workload,
+        faults=faults,
+        policy_streams=streams,
     )
 
 
-def dataset_c_scenario(seed: int = 2020_01_01, scale: float = 1.0) -> Scenario:
+def dataset_c_scenario(
+    seed: int = 2020_01_01,
+    scale: float = 1.0,
+    faults: Optional["FaultSchedule"] = None,
+) -> Scenario:
     """Analogue of dataset C: the full year 2020, with misbehaviour.
 
     This is the scenario behind Tables 2-4 and Figs 7/8/13: pools
@@ -364,11 +408,16 @@ def dataset_c_scenario(seed: int = 2020_01_01, scale: float = 1.0) -> Scenario:
         observers=observers,
         workload_config=workload,
         services=[service],
+        faults=faults,
+        policy_streams=streams,
     )
 
 
 def honest_scenario(
-    seed: int = 7, blocks: int = 120, base_ratio: float = 1.0
+    seed: int = 7,
+    blocks: int = 120,
+    base_ratio: float = 1.0,
+    faults: Optional["FaultSchedule"] = None,
 ) -> Scenario:
     """A small, fully honest control scenario for tests and ablations."""
     duration = blocks * TARGET_BLOCK_INTERVAL
@@ -390,6 +439,8 @@ def honest_scenario(
         pools=pools,
         observers=observers,
         workload_config=workload,
+        faults=faults,
+        policy_streams=streams,
     )
 
 

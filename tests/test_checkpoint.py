@@ -1,0 +1,159 @@
+"""Checkpoint/resume: interrupted runs must equal uninterrupted ones."""
+
+import gzip
+import json
+
+import pytest
+
+from repro.datasets.io import save_dataset
+from repro.faults import (
+    CheckpointConfig,
+    CheckpointError,
+    SimulationInterrupted,
+    load_checkpoint,
+    write_checkpoint,
+)
+from repro.simulation.history import generate_era_blocks
+from repro.simulation.scenarios import honest_scenario
+
+
+class TestCheckpointIO:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "state.ckpt.gz"
+        payload = {"version": 1, "blocks": [1, 2, 3], "name": "x"}
+        write_checkpoint(path, payload)
+        assert load_checkpoint(path) == payload
+
+    def test_missing_file_returns_none(self, tmp_path):
+        assert load_checkpoint(tmp_path / "nope.ckpt.gz") is None
+
+    def test_write_leaves_no_temp_file(self, tmp_path):
+        path = tmp_path / "state.ckpt.gz"
+        write_checkpoint(path, {"a": 1})
+        leftovers = [p for p in tmp_path.iterdir() if p != path]
+        assert leftovers == []
+
+    def test_write_replaces_atomically(self, tmp_path):
+        path = tmp_path / "state.ckpt.gz"
+        write_checkpoint(path, {"generation": 1})
+        write_checkpoint(path, {"generation": 2})
+        assert load_checkpoint(path) == {"generation": 2}
+
+    def test_truncated_checkpoint_raises(self, tmp_path):
+        path = tmp_path / "state.ckpt.gz"
+        write_checkpoint(path, {"a": list(range(1000))})
+        path.write_bytes(path.read_bytes()[:40])
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_non_gzip_garbage_raises(self, tmp_path):
+        path = tmp_path / "state.ckpt.gz"
+        path.write_bytes(b"this is not a checkpoint")
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_non_dict_payload_raises(self, tmp_path):
+        path = tmp_path / "state.ckpt.gz"
+        with gzip.open(path, "wt", encoding="utf-8") as handle:
+            json.dump([1, 2, 3], handle)
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+
+class TestCheckpointConfig:
+    def test_validates_every_blocks(self, tmp_path):
+        with pytest.raises(ValueError):
+            CheckpointConfig(path=tmp_path / "c.gz", every_blocks=0)
+
+    def test_validates_abort_after_blocks(self, tmp_path):
+        with pytest.raises(ValueError):
+            CheckpointConfig(path=tmp_path / "c.gz", abort_after_blocks=0)
+
+
+def _dataset_bytes(dataset, path):
+    return save_dataset(dataset, path).read_bytes()
+
+
+class TestEngineResume:
+    def test_interrupted_resume_matches_uninterrupted(self, tmp_path):
+        baseline = honest_scenario(seed=13, blocks=40).run().dataset
+
+        ckpt = tmp_path / "engine.ckpt.gz"
+        with pytest.raises(SimulationInterrupted):
+            honest_scenario(seed=13, blocks=40).run(
+                checkpoint=CheckpointConfig(
+                    path=ckpt, every_blocks=10, abort_after_blocks=15
+                )
+            )
+        assert ckpt.exists()
+
+        resumed = (
+            honest_scenario(seed=13, blocks=40)
+            .run(checkpoint=CheckpointConfig(path=ckpt, every_blocks=10))
+            .dataset
+        )
+        assert _dataset_bytes(resumed, tmp_path / "resumed.json.gz") == (
+            _dataset_bytes(baseline, tmp_path / "baseline.json.gz")
+        )
+
+    def test_wrong_scenario_fingerprint_rejected(self, tmp_path):
+        ckpt = tmp_path / "engine.ckpt.gz"
+        with pytest.raises(SimulationInterrupted):
+            honest_scenario(seed=13, blocks=40).run(
+                checkpoint=CheckpointConfig(
+                    path=ckpt, every_blocks=10, abort_after_blocks=15
+                )
+            )
+        with pytest.raises(CheckpointError):
+            honest_scenario(seed=14, blocks=40).run(
+                checkpoint=CheckpointConfig(path=ckpt, every_blocks=10)
+            )
+
+
+class TestHistoryResume:
+    KWARGS = dict(
+        start_year=2015.0,
+        end_year=2016.0,
+        blocks_per_month=6,
+        txs_per_block=30,
+        seed=5,
+    )
+
+    def test_interrupted_resume_matches_uninterrupted(self, tmp_path):
+        baseline = generate_era_blocks(**self.KWARGS)
+
+        ckpt = tmp_path / "history.ckpt.gz"
+        with pytest.raises(SimulationInterrupted):
+            generate_era_blocks(
+                **self.KWARGS,
+                checkpoint=CheckpointConfig(
+                    path=ckpt, every_blocks=8, abort_after_blocks=20
+                ),
+            )
+        assert ckpt.exists()
+
+        resumed = generate_era_blocks(
+            **self.KWARGS,
+            checkpoint=CheckpointConfig(path=ckpt, every_blocks=8),
+        )
+        assert len(resumed) == len(baseline)
+        assert [e.year for e in resumed] == [e.year for e in baseline]
+        assert [e.block.block_hash for e in resumed] == [
+            e.block.block_hash for e in baseline
+        ]
+        assert resumed == baseline
+
+    def test_wrong_parameters_fingerprint_rejected(self, tmp_path):
+        ckpt = tmp_path / "history.ckpt.gz"
+        with pytest.raises(SimulationInterrupted):
+            generate_era_blocks(
+                **self.KWARGS,
+                checkpoint=CheckpointConfig(
+                    path=ckpt, every_blocks=8, abort_after_blocks=20
+                ),
+            )
+        other = dict(self.KWARGS, seed=6)
+        with pytest.raises(CheckpointError):
+            generate_era_blocks(
+                **other, checkpoint=CheckpointConfig(path=ckpt, every_blocks=8)
+            )

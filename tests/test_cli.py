@@ -13,8 +13,9 @@ class TestList:
         ids = [line.split()[0] for line in out.strip().splitlines()]
         assert "fig1" in ids and "table5" in ids and "fig14" in ids
         assert "ext_norms" in ids and "abl_epsilon" in ids
-        # 16 paper artefacts + 8 extensions/ablations.
-        assert len(ids) == 24
+        assert "ext_faults" in ids
+        # 16 paper artefacts + 9 extensions/ablations.
+        assert len(ids) == 25
 
 
 class TestRun:
@@ -44,3 +45,24 @@ class TestDataset:
         assert code == 0
         dataset = load_dataset(out_file)
         assert dataset.block_count > 0
+
+
+class TestFaults:
+    def test_small_sweep_reports_power_and_cliff(self, tmp_path, capsys):
+        out_file = tmp_path / "faults.txt"
+        code = main(
+            [
+                "faults",
+                "--scale", "0.04",
+                "--loss", "0", "0.5",
+                "--downtime", "0",
+                "--seeds", "11",
+                "--reps", "1",
+                "--out", str(out_file),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Detection power vs loss" in out
+        assert "power cliff" in out
+        assert "Detection power vs loss" in out_file.read_text()

@@ -1,0 +1,197 @@
+"""FaultSchedule invariants: determinism, nesting, channel isolation."""
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultSchedule, NodeCrash, OutageWindow, spread_downtime
+from repro.faults.quality import detect_gaps
+
+
+@pytest.fixture
+def pairs():
+    return [(float(i), f"tx{i:04d}") for i in range(200)]
+
+
+class TestOutageWindow:
+    def test_half_open_containment(self):
+        window = OutageWindow(node="obs", start=10.0, end=20.0)
+        assert window.contains(10.0)
+        assert window.contains(19.999)
+        assert not window.contains(20.0)
+        assert not window.contains(9.999)
+
+    def test_rejects_empty_window(self):
+        with pytest.raises(ValueError):
+            OutageWindow(node="obs", start=5.0, end=5.0)
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError):
+            OutageWindow(node="obs", start=-1.0, end=5.0)
+
+
+class TestScheduleBasics:
+    def test_null_schedule(self):
+        assert FaultSchedule().is_null
+        assert not FaultSchedule(tx_loss_rate=0.1).is_null
+        assert not FaultSchedule(
+            downtime=(OutageWindow("obs", 0.0, 1.0),)
+        ).is_null
+        assert not FaultSchedule(stale_block_indexes=(3,)).is_null
+
+    def test_rates_validated(self):
+        with pytest.raises(ValueError):
+            FaultSchedule(tx_loss_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultSchedule(pool_loss_rate=-0.1)
+
+    def test_describe_only_non_defaults(self):
+        schedule = FaultSchedule(
+            seed=9,
+            tx_loss_rate=0.2,
+            downtime=(OutageWindow("obs", 1.0, 2.0),),
+            crashes=(NodeCrash("relay-0", 5.0),),
+        )
+        described = schedule.describe()
+        assert described["seed"] == 9
+        assert described["tx_loss_rate"] == 0.2
+        assert described["downtime"] == [["obs", 1.0, 2.0]]
+        assert described["crashes"] == [["relay-0", 5.0]]
+        assert "pool_loss_rate" not in described
+
+    def test_describe_is_json_ready(self):
+        import json
+
+        schedule = FaultSchedule(seed=3, tx_loss_rate=0.1, stale_block_indexes=(1, 4))
+        assert json.loads(json.dumps(schedule.describe())) == schedule.describe()
+
+
+class TestLossMasks:
+    def test_deterministic_per_seed(self, pairs):
+        a = FaultSchedule(seed=5, tx_loss_rate=0.3)
+        b = FaultSchedule(seed=5, tx_loss_rate=0.3)
+        assert a.observer_lost_txids("obs", pairs) == b.observer_lost_txids(
+            "obs", pairs
+        )
+
+    def test_different_seeds_differ(self, pairs):
+        a = FaultSchedule(seed=5, tx_loss_rate=0.3)
+        b = FaultSchedule(seed=6, tx_loss_rate=0.3)
+        assert a.observer_lost_txids("obs", pairs) != b.observer_lost_txids(
+            "obs", pairs
+        )
+
+    def test_masks_nested_across_rates(self, pairs):
+        lost_sets = [
+            FaultSchedule(seed=5, tx_loss_rate=rate).observer_lost_txids(
+                "obs", pairs
+            )
+            for rate in (0.1, 0.3, 0.6, 0.9)
+        ]
+        for smaller, larger in zip(lost_sets, lost_sets[1:]):
+            assert smaller <= larger
+
+    def test_zero_rate_draws_nothing(self):
+        schedule = FaultSchedule(seed=5)
+        mask = schedule.loss_mask("tx-loss/obs", 100, 0.0)
+        assert not mask.any()
+
+    def test_canonical_order_insensitive_to_input_order(self, pairs):
+        schedule = FaultSchedule(seed=5, tx_loss_rate=0.4)
+        shuffled = list(pairs)
+        np.random.default_rng(0).shuffle(shuffled)
+        assert schedule.observer_lost_txids(
+            "obs", pairs
+        ) == schedule.observer_lost_txids("obs", shuffled)
+
+    def test_channels_independent(self, pairs):
+        schedule = FaultSchedule(seed=5, tx_loss_rate=0.3, pool_loss_rate=0.3)
+        observer = schedule.observer_lost_txids("obs", pairs)
+        pool = schedule.pool_lost_txids("F2Pool", pairs)
+        other_observer = schedule.observer_lost_txids("obs2", pairs)
+        assert observer != pool
+        assert observer != other_observer
+
+    def test_loss_rate_approximated(self, pairs):
+        schedule = FaultSchedule(seed=5, tx_loss_rate=0.3)
+        lost = schedule.observer_lost_txids("obs", pairs)
+        assert 0.15 < len(lost) / len(pairs) < 0.45
+
+
+class TestStaleBlocks:
+    def test_explicit_indexes_forced(self):
+        schedule = FaultSchedule(seed=5, stale_block_indexes=(0, 7))
+        mask = schedule.stale_mask(10)
+        assert mask[0] and mask[7]
+        assert mask.sum() == 2
+
+    def test_out_of_range_indexes_ignored(self):
+        schedule = FaultSchedule(seed=5, stale_block_indexes=(99,))
+        assert not schedule.stale_mask(10).any()
+
+    def test_rate_masks_nested(self):
+        low = FaultSchedule(seed=5, stale_block_rate=0.1).stale_mask(500)
+        high = FaultSchedule(seed=5, stale_block_rate=0.4).stale_mask(500)
+        assert not (low & ~high).any()
+
+
+class TestWindows:
+    def test_per_node_filtering(self):
+        schedule = FaultSchedule(
+            downtime=(
+                OutageWindow("obs", 0.0, 10.0),
+                OutageWindow("relay", 5.0, 15.0),
+            ),
+            partitions=(OutageWindow("obs", 20.0, 30.0),),
+            crashes=(NodeCrash("relay", 7.0), NodeCrash("relay", 3.0)),
+        )
+        assert len(schedule.downtime_for("obs")) == 1
+        assert schedule.crash_times_for("relay") == (3.0, 7.0)
+        assert schedule.is_down("obs", 5.0)
+        assert not schedule.is_down("obs", 10.0)
+        assert schedule.in_partition("obs", 25.0)
+        assert schedule.partition_at("obs", 25.0).end == 30.0
+        assert schedule.partition_at("obs", 35.0) is None
+
+
+class TestSpreadDowntime:
+    def test_total_duration_matches_fraction(self):
+        windows = spread_downtime("obs", 1000.0, 0.3, windows=4)
+        assert len(windows) == 4
+        total = sum(w.duration for w in windows)
+        assert total == pytest.approx(300.0)
+
+    def test_windows_disjoint_and_ordered(self):
+        windows = spread_downtime("obs", 1000.0, 0.5, windows=3)
+        for earlier, later in zip(windows, windows[1:]):
+            assert earlier.end < later.start
+
+    def test_zero_fraction_empty(self):
+        assert spread_downtime("obs", 1000.0, 0.0) == ()
+
+    def test_full_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            spread_downtime("obs", 1000.0, 1.0)
+
+
+class TestDetectGaps:
+    def test_uniform_timeline_has_no_gaps(self):
+        times = [float(t) for t in range(0, 150, 15)]
+        gaps, missing, seconds = detect_gaps(times, interval=15.0)
+        assert (gaps, missing, seconds) == (0, 0, 0.0)
+
+    def test_single_gap_counted(self):
+        times = [0.0, 15.0, 30.0, 90.0, 105.0]
+        gaps, missing, seconds = detect_gaps(times, interval=15.0)
+        assert gaps == 1
+        assert missing == 3
+        assert seconds == pytest.approx(45.0)
+
+    def test_interval_inferred_from_median(self):
+        times = [0.0, 15.0, 30.0, 45.0, 120.0, 135.0]
+        gaps, missing, _ = detect_gaps(times)
+        assert gaps == 1
+        assert missing == 4
+
+    def test_short_timelines_trivial(self):
+        assert detect_gaps([]) == (0, 0, 0.0)
+        assert detect_gaps([5.0]) == (0, 0, 0.0)

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.datasets.io import (
+    DatasetCorruptionError,
     dataset_from_dict,
     dataset_path,
     dataset_to_dict,
@@ -81,3 +82,72 @@ class TestRoundTrip:
         assert len(restored.snapshots) == len(small_dataset_a.snapshots)
         assert restored.size_series is not None
         assert restored.size_series.sizes() == small_dataset_a.size_series.sizes()
+
+
+class TestRobustPersistence:
+    def test_save_is_atomic_and_leaves_no_temp_file(self, txf, tmp_path):
+        dataset, *_ = build_small_dataset(txf)
+        path = save_dataset(dataset, tmp_path / "ds.json.gz")
+        assert [p for p in tmp_path.iterdir()] == [path]
+
+    def test_save_is_byte_deterministic(self, txf, tmp_path):
+        dataset, *_ = build_small_dataset(txf)
+        first = save_dataset(dataset, tmp_path / "one.json.gz").read_bytes()
+        second = save_dataset(dataset, tmp_path / "two.json.gz").read_bytes()
+        assert first == second
+
+    def test_missing_file_still_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_dataset(tmp_path / "absent.json.gz")
+
+    def test_truncated_gzip_raises_corruption_error(self, txf, tmp_path):
+        dataset, *_ = build_small_dataset(txf)
+        path = save_dataset(dataset, tmp_path / "ds.json.gz")
+        path.write_bytes(path.read_bytes()[:50])
+        with pytest.raises(DatasetCorruptionError) as excinfo:
+            load_dataset(path)
+        assert str(path) in str(excinfo.value)
+
+    def test_non_gzip_bytes_raise_corruption_error(self, tmp_path):
+        path = tmp_path / "ds.json.gz"
+        path.write_bytes(b"plainly not gzip data")
+        with pytest.raises(DatasetCorruptionError):
+            load_dataset(path)
+
+    def test_malformed_json_reports_offset(self, tmp_path):
+        import gzip
+
+        path = tmp_path / "ds.json.gz"
+        with gzip.open(path, "wt", encoding="utf-8") as handle:
+            handle.write('{"version": 1, "oops..')
+        with pytest.raises(DatasetCorruptionError) as excinfo:
+            load_dataset(path)
+        assert excinfo.value.offset is not None
+        assert "offset" in str(excinfo.value)
+
+    def test_structurally_invalid_payload_raises_corruption_error(
+        self, txf, tmp_path
+    ):
+        import gzip
+        import json
+
+        dataset, *_ = build_small_dataset(txf)
+        payload = dataset_to_dict(dataset)
+        del payload["blocks"]
+        path = tmp_path / "ds.json.gz"
+        with gzip.open(path, "wt", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        with pytest.raises(DatasetCorruptionError) as excinfo:
+            load_dataset(path)
+        assert "invalid structure" in excinfo.value.reason
+
+    def test_corruption_error_is_a_value_error(self):
+        assert issubclass(DatasetCorruptionError, ValueError)
+
+    def test_csv_export_leaves_no_temp_files(self, small_dataset_a, tmp_path):
+        from repro.datasets.export import export_csv
+
+        counts = export_csv(small_dataset_a, tmp_path)
+        assert counts
+        leftovers = [p for p in tmp_path.iterdir() if not p.suffix == ".csv"]
+        assert leftovers == []

@@ -156,9 +156,24 @@ class TestP2PNetwork:
         assert all(node.blocks_seen == 1 for node in network.nodes)
         assert all(tx.txid not in node.mempool for node in network.nodes)
 
+    def test_target_degree_must_fit_node_count(self):
+        nodes = [FullNode(NodeConfig(name=f"n{i}")) for i in range(3)]
+        with pytest.raises(ValueError, match="target_degree must be between"):
+            build_network(nodes, np.random.default_rng(0), target_degree=3)
+
+    def test_target_degree_must_be_positive(self):
+        nodes = [FullNode(NodeConfig(name=f"n{i}")) for i in range(3)]
+        with pytest.raises(ValueError, match="target_degree must be between"):
+            build_network(nodes, np.random.default_rng(0), target_degree=0)
+
+    def test_maximum_valid_target_degree_accepted(self):
+        nodes = [FullNode(NodeConfig(name=f"n{i}")) for i in range(4)]
+        network = build_network(nodes, np.random.default_rng(0), target_degree=3)
+        assert all(node.peers for node in network.nodes)
+
     def test_scheduled_snapshots(self, txf):
         nodes = [make_observer("obs"), FullNode(NodeConfig(name="other"))]
-        network = build_network(nodes, np.random.default_rng(0))
+        network = build_network(nodes, np.random.default_rng(0), target_degree=1)
         scheduler = EventScheduler()
         network.schedule_snapshots(scheduler, end_time=45.0)
         scheduler.run_until(46.0)

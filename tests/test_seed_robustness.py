@@ -69,3 +69,19 @@ class TestSeedRobustness:
     def test_ppe_stays_in_band(self, reseeded_auditor):
         summary = reseeded_auditor.ppe_summary()
         assert 0.5 < summary.mean < 12.0
+
+
+class TestNullFaultScheduleIsInvisible:
+    def test_zero_rate_schedule_yields_byte_identical_artifacts(self, tmp_path):
+        from repro.datasets.io import save_dataset
+        from repro.faults import FaultSchedule
+
+        clean = dataset_c_scenario(seed=11, scale=0.04).run().dataset
+        nulled = (
+            dataset_c_scenario(seed=11, scale=0.04, faults=FaultSchedule(seed=99))
+            .run()
+            .dataset
+        )
+        clean_path = save_dataset(clean, tmp_path / "clean.json.gz")
+        nulled_path = save_dataset(nulled, tmp_path / "nulled.json.gz")
+        assert clean_path.read_bytes() == nulled_path.read_bytes()
