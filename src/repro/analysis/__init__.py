@@ -10,6 +10,13 @@ from .base import (
 )
 from .cdf import Ecdf, dominates, ecdf, quantile_table
 from .experiments import EXPERIMENTS, run_all, run_experiment, run_experiments
+from .runner import (
+    BatteryResult,
+    ExperimentOutcome,
+    run_battery,
+    run_bench,
+    run_one,
+)
 from .tables import format_cell, render_kv, render_table
 
 __all__ = [
@@ -27,6 +34,11 @@ __all__ = [
     "run_all",
     "run_experiment",
     "run_experiments",
+    "BatteryResult",
+    "ExperimentOutcome",
+    "run_battery",
+    "run_bench",
+    "run_one",
     "format_cell",
     "render_kv",
     "render_table",

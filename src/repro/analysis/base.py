@@ -11,10 +11,17 @@ assert instead of brittle absolute numbers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import Callable, Optional, Sequence
 
-from ..datasets.builder import build_dataset_a, build_dataset_b, build_dataset_c
+from ..datasets.builder import (
+    build_dataset,
+    build_dataset_a,
+    build_dataset_b,
+    build_dataset_c,
+)
+from ..datasets.cache import DatasetCache
 from ..datasets.dataset import Dataset
+from ..simulation.scenarios import Scenario
 
 #: Default scale for experiment runs: large enough for the statistics,
 #: small enough for a laptop session.
@@ -23,25 +30,44 @@ DEFAULT_SCALE = 0.25
 
 @dataclass
 class DataContext:
-    """Lazily built datasets shared by experiment runs."""
+    """Lazily built datasets shared by experiment runs.
+
+    With ``cache`` set, builds go through the persistent
+    content-addressed dataset cache: warm contexts load from disk
+    instead of simulating, and concurrent worker processes sharing one
+    cache directory build each dataset at most once (the first builder
+    wins a lockfile; everyone else loads its artifact).
+    """
 
     scale: float = DEFAULT_SCALE
+    cache: Optional[DatasetCache] = None
     _cache: dict[str, Dataset] = field(default_factory=dict, repr=False)
 
     def dataset_a(self) -> Dataset:
         if "A" not in self._cache:
-            self._cache["A"] = build_dataset_a(scale=self.scale)
+            self._cache["A"] = build_dataset_a(scale=self.scale, cache=self.cache)
         return self._cache["A"]
 
     def dataset_b(self) -> Dataset:
         if "B" not in self._cache:
-            self._cache["B"] = build_dataset_b(scale=self.scale)
+            self._cache["B"] = build_dataset_b(scale=self.scale, cache=self.cache)
         return self._cache["B"]
 
     def dataset_c(self) -> Dataset:
         if "C" not in self._cache:
-            self._cache["C"] = build_dataset_c(scale=self.scale)
+            self._cache["C"] = build_dataset_c(scale=self.scale, cache=self.cache)
         return self._cache["C"]
+
+    def scenario_dataset(self, scenario: Scenario) -> Dataset:
+        """Build (or fetch) an arbitrary scenario's dataset via the cache.
+
+        Experiments that derive bespoke scenarios (modified injections,
+        extra policies) route their builds through here so warm runs
+        and parallel workers reuse them; the scenario's ``name`` is the
+        cache's builder key, so derived scenarios must be renamed to
+        not collide with the stock dataset at the same seed.
+        """
+        return build_dataset(scenario, cache=self.cache)
 
 
 @dataclass(frozen=True)

@@ -27,7 +27,7 @@ PAPER = {
 CENSOR_POOL = "Poolin"
 
 
-def _censoring_dataset(scale: float):
+def _censoring_scenario(scale: float):
     """Dataset C with one large pool censoring the scam wallet.
 
     The scam episode is widened (more payments over a longer window)
@@ -36,6 +36,9 @@ def _censoring_dataset(scale: float):
     y on the order of dozens of blocks to resolve θ0 ~ 0.15 down to 0.
     """
     scenario = dataset_c_scenario(seed=2020_06_06, scale=scale)
+    # Renamed so the dataset cache never conflates this derived build
+    # with stock dataset C at the same seed.
+    scenario.name = "ext-censorship-C"
     injections = scenario.workload_config.injections
     duration = scenario.engine_config.duration
     injections.scam_count = max(int(600 * scale), 120)
@@ -49,12 +52,19 @@ def _censoring_dataset(scale: float):
     censor.policy = CensorPolicy(
         base=censor.policy, banned=address_predicate(scam_wallet)
     )
+    return scenario
+
+
+def _censoring_dataset(scale: float, ctx: "DataContext | None" = None):
+    scenario = _censoring_scenario(scale)
+    if ctx is not None:
+        return ctx.scenario_dataset(scenario)
     return scenario.run().dataset
 
 
 def run(ctx: DataContext) -> ExperimentResult:
     """Inject a censor and run Table 3's tests against it."""
-    dataset = _censoring_dataset(scale=max(ctx.scale, 0.15))
+    dataset = _censoring_dataset(scale=max(ctx.scale, 0.15), ctx=ctx)
     auditor = Auditor(dataset)
     rows = auditor.scam_table()
     table_rows = [

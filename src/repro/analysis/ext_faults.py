@@ -26,6 +26,8 @@ from typing import Optional, Sequence
 
 from ..core.audit import Auditor
 from ..core.stattests import DEFAULT_ALPHA
+from ..datasets.builder import build_dataset
+from ..datasets.cache import DatasetCache
 from ..datasets.dataset import Dataset
 from ..faults.degrade import degrade_dataset
 from ..faults.schedule import FaultSchedule, spread_downtime
@@ -123,14 +125,17 @@ def sweep_power_under_faults(
     reps: int = DEFAULT_REPS,
     alpha: float = DEFAULT_ALPHA,
     target_pool: str = TARGET_POOL,
+    cache: Optional[DatasetCache] = None,
 ) -> FaultSweepResult:
     """Power surface of the acceleration test over loss x downtime.
 
-    For every simulation seed one clean dataset-C run is simulated;
-    every grid cell then degrades that dataset under ``reps``
-    independent fault seeds and re-runs the observed prioritization
-    test for ``target_pool`` against its inferred self-interest set.
-    Power is the detected fraction over seeds x reps.
+    For every simulation seed one clean dataset-C run is simulated (or
+    fetched from ``cache`` — the clean bases are stock dataset-C builds,
+    so warm runs skip the simulations entirely); every grid cell then
+    degrades that dataset under ``reps`` independent fault seeds and
+    re-runs the observed prioritization test for ``target_pool``
+    against its inferred self-interest set.  Power is the detected
+    fraction over seeds x reps.
     """
     if reps < 1:
         raise ValueError("need at least one fault rep per cell")
@@ -142,7 +147,7 @@ def sweep_power_under_faults(
     bases = []
     for seed in seeds:
         scenario = dataset_c_scenario(seed=seed, scale=scale)
-        dataset = scenario.run().dataset
+        dataset = build_dataset(scenario, cache=cache)
         txids = dataset.inferred_self_interest_txids(target_pool)
         bases.append((dataset, txids, scenario.engine_config.duration))
 
@@ -222,7 +227,7 @@ def render_sweep(sweep: FaultSweepResult) -> str:
 def run(ctx: DataContext) -> ExperimentResult:
     """Sweep detection power under faults and locate the cliff."""
     scale = min(ctx.scale, SWEEP_SCALE)
-    sweep = sweep_power_under_faults(scale=scale)
+    sweep = sweep_power_under_faults(scale=scale, cache=ctx.cache)
     rendered = render_sweep(sweep)
 
     clean = sweep.cell(0.0, 0.0)

@@ -1,0 +1,323 @@
+"""Parallel experiment executor and the cold/warm benchmark harness.
+
+``run_battery`` executes a list of experiment ids either in-process
+(``jobs=1``) or on a process pool, with three guarantees:
+
+* **deterministic assembly** — outcomes come back in the requested
+  (paper) order regardless of completion order, and the assembled
+  report contains no timing data, so a parallel run's report is
+  byte-identical to the sequential one;
+* **degradation tolerance** — an experiment that raises is recorded as
+  a failed :class:`ExperimentOutcome` (in the same report slot) and the
+  rest of the battery keeps running, mirroring the fault-tolerant audit
+  pipeline;
+* **single-build datasets** — workers share one persistent
+  :class:`~repro.datasets.cache.DatasetCache` directory, whose
+  first-builder-wins lockfile means each dataset is simulated at most
+  once no matter how many workers race for it.
+
+``run_bench`` times the cold/warm × sequential/parallel grid on fresh
+cache directories and returns the measurements as a JSON-ready dict
+(the committed ``BENCH_runner.json`` baseline).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import shutil
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from ..core.ppe import clear_prediction_cache
+from ..datasets.builder import clear_memory_cache
+from ..datasets.cache import CacheStats, DatasetCache
+from .base import DEFAULT_SCALE, DataContext, ExperimentResult
+from .experiments import ALL_RUNNERS, run_experiment
+
+
+@dataclass
+class ExperimentOutcome:
+    """One experiment's result (or failure) plus its execution record."""
+
+    experiment_id: str
+    wall_time: float
+    result: Optional[ExperimentResult] = None
+    error: Optional[str] = None
+    cache: CacheStats = field(default_factory=CacheStats)
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and self.result is not None
+
+    @property
+    def all_passed(self) -> bool:
+        return self.ok and self.result.all_passed
+
+    def report(self) -> str:
+        """This outcome's report block (timing-free, so reports from
+        sequential and parallel runs are byte-identical)."""
+        if self.ok:
+            return self.result.report()
+        return (
+            f"=== {self.experiment_id}: FAILED ===\n"
+            f"[ERROR] experiment raised: {self.error}"
+        )
+
+
+@dataclass
+class BatteryResult:
+    """A full battery run: outcomes in request order plus totals."""
+
+    outcomes: list[ExperimentOutcome]
+    jobs: int
+    scale: float
+    total_wall: float
+
+    def report(self) -> str:
+        """The assembled report, in the order the ids were requested."""
+        return "\n\n".join(outcome.report() for outcome in self.outcomes)
+
+    def failed(self) -> list[ExperimentOutcome]:
+        """Outcomes that raised (not merely failed shape checks)."""
+        return [o for o in self.outcomes if not o.ok]
+
+    def failing_checks(self) -> list[ExperimentOutcome]:
+        """Outcomes that ran but have failing shape checks."""
+        return [o for o in self.outcomes if o.ok and not o.result.all_passed]
+
+    @property
+    def all_ok(self) -> bool:
+        return all(o.all_passed for o in self.outcomes)
+
+    def cache_stats(self) -> CacheStats:
+        """Dataset-cache counters aggregated over every outcome."""
+        total = CacheStats()
+        for outcome in self.outcomes:
+            total.hits += outcome.cache.hits
+            total.misses += outcome.cache.misses
+            total.builds += outcome.cache.builds
+            total.lock_waits += outcome.cache.lock_waits
+            total.evictions += outcome.cache.evictions
+        return total
+
+    def timing_table(self) -> str:
+        """Per-experiment wall times (printed separately from the report)."""
+        width = max(len(o.experiment_id) for o in self.outcomes) if self.outcomes else 8
+        lines = [f"--- timing (jobs={self.jobs}, scale={self.scale:g}) ---"]
+        for outcome in self.outcomes:
+            status = "ok" if outcome.ok else "RAISED"
+            if outcome.ok and not outcome.result.all_passed:
+                status = "checks-failed"
+            lines.append(
+                f"{outcome.experiment_id:<{width}}  "
+                f"{outcome.wall_time:7.2f}s  {status}"
+            )
+        lines.append(f"{'total':<{width}}  {self.total_wall:7.2f}s")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+#: Per-process contexts, so experiments running in the same worker share
+#: in-memory datasets exactly like a sequential run does.
+_WORKER_CONTEXTS: dict[tuple[float, Optional[str]], DataContext] = {}
+
+
+def _context_for(scale: float, cache_dir: Optional[str]) -> DataContext:
+    key = (scale, cache_dir)
+    ctx = _WORKER_CONTEXTS.get(key)
+    if ctx is None:
+        cache = DatasetCache(cache_dir) if cache_dir is not None else None
+        ctx = DataContext(scale=scale, cache=cache)
+        _WORKER_CONTEXTS[key] = ctx
+    return ctx
+
+
+def run_one(
+    experiment_id: str, scale: float, cache_dir: Optional[str] = None
+) -> ExperimentOutcome:
+    """Run one experiment in this process; never raises.
+
+    This is the unit of work a pool worker executes; ``run_battery``
+    with ``jobs=1`` calls it directly so both modes share one code path.
+    """
+    ctx = _context_for(scale, cache_dir)
+    before = ctx.cache.stats.snapshot() if ctx.cache is not None else None
+    start = time.perf_counter()
+    try:
+        result = run_experiment(experiment_id, ctx)
+        error = None
+    except Exception as exc:  # degradation tolerance: record, don't raise
+        result = None
+        error = f"{type(exc).__name__}: {exc}"
+    wall = time.perf_counter() - start
+    cache_delta = (
+        ctx.cache.stats.delta(before) if before is not None else CacheStats()
+    )
+    return ExperimentOutcome(
+        experiment_id=experiment_id,
+        wall_time=wall,
+        result=result,
+        error=error,
+        cache=cache_delta,
+    )
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    # fork shares the parent's loaded modules (fast start); fall back to
+    # spawn where fork is unavailable.
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def run_battery(
+    experiment_ids: Sequence[str],
+    scale: float = DEFAULT_SCALE,
+    jobs: int = 1,
+    cache_dir: Optional[Union[str, Path]] = None,
+) -> BatteryResult:
+    """Run ``experiment_ids`` and assemble outcomes in request order.
+
+    ``jobs > 1`` fans the experiments out over a process pool; dataset
+    builds are coordinated through the shared cache directory so each
+    dataset is simulated at most once.  A failure in one experiment
+    never aborts the rest.
+    """
+    ids = list(experiment_ids)
+    unknown = [eid for eid in ids if eid not in ALL_RUNNERS]
+    if unknown:
+        known = ", ".join(ALL_RUNNERS)
+        raise KeyError(
+            f"unknown experiment(s) {', '.join(unknown)}; known: {known}"
+        )
+    cache_dir = str(cache_dir) if cache_dir is not None else None
+    start = time.perf_counter()
+    if jobs <= 1 or len(ids) <= 1:
+        outcomes = [run_one(eid, scale, cache_dir) for eid in ids]
+    else:
+        outcomes = [None] * len(ids)
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(ids)), mp_context=_pool_context()
+        ) as pool:
+            futures = {
+                pool.submit(run_one, eid, scale, cache_dir): index
+                for index, eid in enumerate(ids)
+            }
+            for future in as_completed(futures):
+                index = futures[future]
+                try:
+                    outcomes[index] = future.result()
+                except Exception as exc:  # worker process died
+                    outcomes[index] = ExperimentOutcome(
+                        experiment_id=ids[index],
+                        wall_time=0.0,
+                        error=f"worker failed: {type(exc).__name__}: {exc}",
+                    )
+    total = time.perf_counter() - start
+    return BatteryResult(
+        outcomes=list(outcomes), jobs=jobs, scale=scale, total_wall=total
+    )
+
+
+# ----------------------------------------------------------------------
+# Benchmark harness
+# ----------------------------------------------------------------------
+def _reset_process_caches() -> None:
+    """Drop every in-process memo so a bench cell measures the disk cache."""
+    clear_memory_cache()
+    clear_prediction_cache()
+    _WORKER_CONTEXTS.clear()
+
+
+def _bench_cell(
+    ids: Sequence[str], scale: float, jobs: int, cache_dir: str
+) -> tuple[dict, BatteryResult]:
+    _reset_process_caches()
+    battery = run_battery(ids, scale=scale, jobs=jobs, cache_dir=cache_dir)
+    stats = battery.cache_stats()
+    cell = {
+        "wall_seconds": round(battery.total_wall, 4),
+        "jobs": jobs,
+        "ok": battery.all_ok,
+        "raised": [o.experiment_id for o in battery.failed()],
+        "failing_checks": [o.experiment_id for o in battery.failing_checks()],
+        "cache": {
+            "hits": stats.hits,
+            "misses": stats.misses,
+            "builds": stats.builds,
+            "lock_waits": stats.lock_waits,
+        },
+        "per_experiment_seconds": {
+            o.experiment_id: round(o.wall_time, 4) for o in battery.outcomes
+        },
+    }
+    return cell, battery
+
+
+def run_bench(
+    experiment_ids: Sequence[str],
+    scale: float = 0.2,
+    jobs: int = 4,
+    work_dir: Optional[Union[str, Path]] = None,
+) -> dict:
+    """Time cold/warm × sequential/parallel batteries on fresh caches.
+
+    Each mode gets its own empty cache directory: the *cold* cell pays
+    for every simulation (and populates the cache), the *warm* cell
+    re-runs against the populated cache.  In-process memos are cleared
+    between cells so warm timings measure the disk cache, not leftover
+    objects.  Returns the JSON-ready measurement document.
+    """
+    ids = list(experiment_ids)
+    measurements: dict[str, dict] = {}
+    reports: dict[str, str] = {}
+    for mode, mode_jobs in (("sequential", 1), ("parallel", jobs)):
+        cache_dir = tempfile.mkdtemp(
+            prefix=f"repro-bench-{mode}-",
+            dir=str(work_dir) if work_dir is not None else None,
+        )
+        try:
+            for phase in ("cold", "warm"):
+                cell, battery = _bench_cell(ids, scale, mode_jobs, cache_dir)
+                measurements[f"{phase}_{mode}"] = cell
+                reports[f"{phase}_{mode}"] = battery.report()
+        finally:
+            shutil.rmtree(cache_dir, ignore_errors=True)
+    _reset_process_caches()
+
+    def wall(name: str) -> float:
+        return measurements[name]["wall_seconds"]
+
+    document = {
+        "benchmark": "runner",
+        "experiments": ids,
+        "scale": scale,
+        "jobs": jobs,
+        "measurements": measurements,
+        "speedups": {
+            "warm_over_cold_sequential": round(
+                wall("cold_sequential") / max(wall("warm_sequential"), 1e-9), 2
+            ),
+            "warm_over_cold_parallel": round(
+                wall("cold_parallel") / max(wall("warm_parallel"), 1e-9), 2
+            ),
+            "parallel_over_sequential_cold": round(
+                wall("cold_sequential") / max(wall("cold_parallel"), 1e-9), 2
+            ),
+            "parallel_over_sequential_warm": round(
+                wall("warm_sequential") / max(wall("warm_parallel"), 1e-9), 2
+            ),
+        },
+        "reports_byte_identical": {
+            "parallel_vs_sequential_warm": reports["warm_parallel"]
+            == reports["warm_sequential"],
+            "warm_vs_cold_sequential": reports["warm_sequential"]
+            == reports["cold_sequential"],
+        },
+    }
+    return document

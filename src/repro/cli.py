@@ -4,20 +4,27 @@ Usage::
 
     repro-audit list
     repro-audit run fig7 table2 --scale 0.1
-    repro-audit run all --scale 0.25 --out experiments.txt
+    repro-audit run everything --scale 0.25 --jobs 4 --out experiments.txt
+    repro-audit bench --scale 0.2 --jobs 4 --out BENCH_runner.json
     repro-audit dataset C --scale 0.1 --out dataset_c.json.gz
     repro-audit faults --scale 0.05 --loss 0 0.05 0.5 --downtime 0 0.25
+
+Datasets are simulated once and cached under ``--cache-dir`` (default
+``~/.cache/repro-audit``); warm runs load them from disk instead of
+re-simulating.  ``--no-cache`` opts out.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
-from .analysis.base import DEFAULT_SCALE, DataContext
-from .analysis.experiments import ALL_RUNNERS, EXPERIMENTS, EXTENSIONS, run_experiments
+from .analysis.base import DEFAULT_SCALE
+from .analysis.experiments import ALL_RUNNERS, EXPERIMENTS, EXTENSIONS
 from .datasets.builder import build_dataset_a, build_dataset_b, build_dataset_c
+from .datasets.cache import DEFAULT_CACHE_DIR
 from .datasets.io import save_dataset
 
 
@@ -48,6 +55,47 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument(
         "--out", type=str, default=None, help="also write the report to a file"
+    )
+    run_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes; experiments fan out over a pool when >1 "
+        "(the report stays byte-identical to a sequential run)",
+    )
+    _add_cache_arguments(run_parser)
+
+    bench_parser = sub.add_parser(
+        "bench",
+        help="benchmark cold/warm x sequential/parallel experiment runs",
+        description=(
+            "Time the experiment battery over the cold/warm x "
+            "sequential/parallel grid on fresh cache directories and "
+            "write the measurements as JSON (BENCH_runner.json)."
+        ),
+    )
+    bench_parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=["all"],
+        help="experiment ids, 'all' (paper artefacts, the default) or "
+        "'everything' (artefacts + extensions/ablations)",
+    )
+    bench_parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.2,
+        help="simulation scale for the benchmark (default 0.2, the "
+        "smallest scale at which every paper-battery shape check passes)",
+    )
+    bench_parser.add_argument(
+        "--jobs", type=int, default=4, help="workers for the parallel cells"
+    )
+    bench_parser.add_argument(
+        "--out",
+        type=str,
+        default="BENCH_runner.json",
+        help="where to write the JSON measurements",
     )
 
     dataset_parser = sub.add_parser(
@@ -111,33 +159,82 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _run_command(args: argparse.Namespace) -> int:
-    ids = list(args.experiments)
+def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache-dir",
+        type=str,
+        default=str(DEFAULT_CACHE_DIR),
+        help=f"persistent dataset cache directory (default {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="always re-simulate datasets; never touch the disk cache",
+    )
+
+
+def _resolve_ids(requested: Sequence[str]) -> Optional[list[str]]:
+    ids = list(requested)
     if ids == ["all"]:
-        ids = list(EXPERIMENTS)
-    elif ids == ["everything"]:
-        ids = list(ALL_RUNNERS)
+        return list(EXPERIMENTS)
+    if ids == ["everything"]:
+        return list(ALL_RUNNERS)
     unknown = [eid for eid in ids if eid not in ALL_RUNNERS]
     if unknown:
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
         print(f"known: {', '.join(ALL_RUNNERS)}", file=sys.stderr)
+        return None
+    return ids
+
+
+def _run_command(args: argparse.Namespace) -> int:
+    from .analysis.runner import run_battery
+
+    ids = _resolve_ids(args.experiments)
+    if ids is None:
         return 2
-    ctx = DataContext(scale=args.scale)
-    results = run_experiments(ids, ctx)
-    report = "\n\n".join(result.report() for result in results)
+    cache_dir = None if args.no_cache else args.cache_dir
+    battery = run_battery(
+        ids, scale=args.scale, jobs=args.jobs, cache_dir=cache_dir
+    )
+    report = battery.report()
     print(report)
-    failed = [r for r in results if not r.all_passed]
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
             handle.write(report + "\n")
         print(f"\nreport written to {args.out}")
-    if failed:
+    print("\n" + battery.timing_table())
+    if cache_dir is not None:
+        print(f"dataset cache [{cache_dir}]: {battery.cache_stats().summary()}")
+    raised = battery.failed()
+    if raised:
         print(
-            f"\n{len(failed)} experiment(s) had failing shape checks: "
-            + ", ".join(r.experiment_id for r in failed),
+            f"\n{len(raised)} experiment(s) raised: "
+            + ", ".join(o.experiment_id for o in raised),
             file=sys.stderr,
         )
-        return 1
+    failing = battery.failing_checks()
+    if failing:
+        print(
+            f"\n{len(failing)} experiment(s) had failing shape checks: "
+            + ", ".join(o.experiment_id for o in failing),
+            file=sys.stderr,
+        )
+    return 1 if (raised or failing) else 0
+
+
+def _bench_command(args: argparse.Namespace) -> int:
+    from .analysis.runner import run_bench
+
+    ids = _resolve_ids(args.experiments)
+    if ids is None:
+        return 2
+    document = run_bench(ids, scale=args.scale, jobs=args.jobs)
+    text = json.dumps(document, indent=2, sort_keys=True)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+    print(text)
+    print(f"\nbenchmark written to {args.out}")
     return 0
 
 
@@ -203,6 +300,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
     if args.command == "run":
         return _run_command(args)
+    if args.command == "bench":
+        return _bench_command(args)
     if args.command == "dataset":
         return _dataset_command(args)
     if args.command == "faults":

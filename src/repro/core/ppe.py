@@ -22,6 +22,58 @@ import numpy as np
 from ..chain.block import Block
 from .norms import CpfpFilter, PositionPrediction, predict_block_positions
 
+# ----------------------------------------------------------------------
+# Per-block prediction memo
+# ----------------------------------------------------------------------
+# Blocks are immutable, so their norm predictions are pure functions of
+# (block, CPFP filter).  The per-pool Table 2 loop calls sppe() once per
+# (owner, target) pair over the same chain; memoising here turns its
+# repeated predict_block_positions calls into dictionary lookups.  The
+# memo lives *on the block instance* (block_hash is not a safe key:
+# txids do not commit to fee/vsize, so distinct blocks can share a
+# hash), which also ties the memo's lifetime to the block's own.
+_MEMO_ATTR = "_prediction_memo"
+_TXIDS_KEY = "txids"
+
+
+def _block_memo(block: Block) -> dict:
+    memo = block.__dict__.get(_MEMO_ATTR)
+    if memo is None:
+        memo = {}
+        object.__setattr__(block, _MEMO_ATTR, memo)
+    return memo
+
+
+def predictions_for(
+    block: Block, cpfp_filter: CpfpFilter = CpfpFilter.CHILDREN
+) -> tuple[PositionPrediction, ...]:
+    """Memoised :func:`predict_block_positions` for one block instance."""
+    memo = _block_memo(block)
+    cached = memo.get(cpfp_filter)
+    if cached is None:
+        cached = tuple(predict_block_positions(block, cpfp_filter))
+        memo[cpfp_filter] = cached
+    return cached
+
+
+def _block_txids(block: Block) -> frozenset[str]:
+    """Memoised full txid set of a block (pre-filter)."""
+    memo = _block_memo(block)
+    cached = memo.get(_TXIDS_KEY)
+    if cached is None:
+        cached = frozenset(tx.txid for tx in block.transactions)
+        memo[_TXIDS_KEY] = cached
+    return cached
+
+
+def clear_prediction_cache() -> None:
+    """Compatibility hook for benchmark cells.
+
+    Memos are stored on block instances, so they vanish with the blocks
+    themselves (e.g. when the dataset memory cache is cleared); there is
+    no process-global state left to drop.
+    """
+
 
 @dataclass(frozen=True)
 class BlockPpe:
@@ -42,7 +94,7 @@ def block_ppe(
     non-CPFP transaction; returning None lets callers apply the same
     exclusion explicitly.
     """
-    predictions = predict_block_positions(block, cpfp_filter)
+    predictions = predictions_for(block, cpfp_filter)
     if not predictions:
         return None
     errors = [prediction.error for prediction in predictions]
@@ -105,9 +157,15 @@ class SppeResult:
 
     @property
     def accelerated_fraction(self) -> float:
-        """Share of the set observed above its predicted position."""
+        """Share of the set observed above its predicted position.
+
+        An empty set is *no evidence*, not "no acceleration": it
+        returns ``nan``, matching :func:`sppe`'s degenerate result, so
+        Table 2/4-style aggregations cannot mistake an unmatched
+        transaction set for a well-behaved pool.
+        """
         if not self.per_tx:
-            return 0.0
+            return float("nan")
         lifted = sum(1 for p in self.per_tx if p.signed_error > 0)
         return lifted / len(self.per_tx)
 
@@ -126,10 +184,9 @@ def sppe(
     target = set(txids)
     matched: list[PositionPrediction] = []
     for block in blocks:
-        block_txids = {tx.txid for tx in block.transactions}
-        if not (target & block_txids):
+        if not target.intersection(_block_txids(block)):
             continue
-        for prediction in predict_block_positions(block, cpfp_filter):
+        for prediction in predictions_for(block, cpfp_filter):
             if prediction.txid in target:
                 matched.append(prediction)
     if not matched:
@@ -148,6 +205,6 @@ def per_transaction_sppe(
     """
     errors: dict[str, float] = {}
     for block in blocks:
-        for prediction in predict_block_positions(block, cpfp_filter):
+        for prediction in predictions_for(block, cpfp_filter):
             errors[prediction.txid] = prediction.signed_error
     return errors

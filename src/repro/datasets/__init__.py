@@ -6,7 +6,9 @@ from .builder import (
     build_dataset_b,
     build_dataset_c,
     clear_memory_cache,
+    disk_cache_key,
 )
+from .cache import DEFAULT_CACHE_DIR, CacheKey, CacheStats, DatasetCache
 from .dataset import Dataset
 from .export import export_csv
 from .io import (
@@ -38,6 +40,11 @@ __all__ = [
     "build_dataset_b",
     "build_dataset_c",
     "clear_memory_cache",
+    "disk_cache_key",
+    "DEFAULT_CACHE_DIR",
+    "CacheKey",
+    "CacheStats",
+    "DatasetCache",
     "Dataset",
     "DatasetCorruptionError",
     "export_csv",

@@ -1,8 +1,10 @@
 """Build (and cache) datasets from scenarios.
 
 Scenario runs are deterministic but not free; the builder memoises them
-per-process and can optionally persist them to disk in the released
-dataset format, so analyses, tests, and benchmarks share one build.
+per-process and can persist them through the content-addressed
+:class:`~repro.datasets.cache.DatasetCache`, so analyses, tests, and
+benchmarks — including concurrent experiment workers — share one build
+per (builder, scale, seed, schema-version) key.
 """
 
 from __future__ import annotations
@@ -16,6 +18,7 @@ from ..simulation.scenarios import (
     dataset_b_scenario,
     dataset_c_scenario,
 )
+from .cache import CacheKey, DatasetCache
 from .dataset import Dataset
 from .io import dataset_path, load_if_exists, save_dataset
 
@@ -26,19 +29,37 @@ def _cache_key(scenario: Scenario) -> tuple[str, int, float]:
     return (scenario.name, scenario.seed, scenario.engine_config.duration)
 
 
+def disk_cache_key(scenario: Scenario) -> CacheKey:
+    """The persistent-cache key of a scenario's dataset."""
+    return CacheKey(
+        builder=scenario.name, scale=scenario.scale, seed=scenario.seed
+    )
+
+
 def build_dataset(
     scenario: Scenario,
     cache_dir: Optional[Union[str, Path]] = None,
     use_memory_cache: bool = True,
+    cache: Optional[DatasetCache] = None,
 ) -> Dataset:
     """Run ``scenario`` (or fetch a cached result) and return its dataset.
 
-    Lookup order: in-process memo, then ``cache_dir`` (if given), then a
-    fresh simulation whose result is written back to both caches.
+    Lookup order: in-process memo, then the persistent ``cache`` (if
+    given), then a fresh simulation whose result is written back to both
+    caches.  ``cache_dir`` is the legacy flat layout kept for explicit
+    exports; prefer ``cache``, whose keys include scale and schema
+    version and whose builds are lockfile-coordinated across processes.
     """
     key = _cache_key(scenario)
     if use_memory_cache and key in _MEMORY_CACHE:
         return _MEMORY_CACHE[key]
+    if cache is not None:
+        dataset = cache.get_or_build(
+            disk_cache_key(scenario), lambda: scenario.run().dataset
+        )
+        if use_memory_cache:
+            _MEMORY_CACHE[key] = dataset
+        return dataset
     path = None
     if cache_dir is not None:
         path = dataset_path(cache_dir, scenario.name, scenario.seed)
@@ -56,7 +77,7 @@ def build_dataset(
 
 
 def clear_memory_cache() -> None:
-    """Drop all memoised datasets (mainly for tests)."""
+    """Drop all memoised datasets (mainly for tests and benchmarks)."""
     _MEMORY_CACHE.clear()
 
 
@@ -64,6 +85,7 @@ def build_dataset_a(
     scale: float = 1.0,
     seed: Optional[int] = None,
     cache_dir: Optional[Union[str, Path]] = None,
+    cache: Optional[DatasetCache] = None,
 ) -> Dataset:
     """The dataset-A analogue at the requested scale."""
     scenario = (
@@ -71,13 +93,14 @@ def build_dataset_a(
         if seed is None
         else dataset_a_scenario(seed=seed, scale=scale)
     )
-    return build_dataset(scenario, cache_dir=cache_dir)
+    return build_dataset(scenario, cache_dir=cache_dir, cache=cache)
 
 
 def build_dataset_b(
     scale: float = 1.0,
     seed: Optional[int] = None,
     cache_dir: Optional[Union[str, Path]] = None,
+    cache: Optional[DatasetCache] = None,
 ) -> Dataset:
     """The dataset-B analogue at the requested scale."""
     scenario = (
@@ -85,13 +108,14 @@ def build_dataset_b(
         if seed is None
         else dataset_b_scenario(seed=seed, scale=scale)
     )
-    return build_dataset(scenario, cache_dir=cache_dir)
+    return build_dataset(scenario, cache_dir=cache_dir, cache=cache)
 
 
 def build_dataset_c(
     scale: float = 1.0,
     seed: Optional[int] = None,
     cache_dir: Optional[Union[str, Path]] = None,
+    cache: Optional[DatasetCache] = None,
 ) -> Dataset:
     """The dataset-C analogue (misbehaviour included) at the requested scale."""
     scenario = (
@@ -99,4 +123,4 @@ def build_dataset_c(
         if seed is None
         else dataset_c_scenario(seed=seed, scale=scale)
     )
-    return build_dataset(scenario, cache_dir=cache_dir)
+    return build_dataset(scenario, cache_dir=cache_dir, cache=cache)

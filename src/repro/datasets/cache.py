@@ -1,0 +1,260 @@
+"""Content-addressed persistent dataset cache.
+
+The paper's pipeline (§3) separates one-time data collection from the
+repeated analyses that consume it; this module gives the reproduction
+the same split.  Simulated datasets are expensive to build but are pure
+functions of *(builder, scale, seed, dataset-schema version)* — so that
+tuple is the cache key, hashed into a content address, and the built
+dataset is persisted under it with the atomic deterministic writer from
+:mod:`repro.datasets.io`.  Warm runs skip simulation entirely.
+
+Concurrency: parallel experiment workers may want the same dataset at
+the same time.  A sidecar *lockfile* (``O_CREAT | O_EXCL``) elects the
+first builder; everyone else polls until the artifact appears and loads
+it, so each dataset is simulated at most once per cache directory no
+matter how many processes race.  Because :func:`~repro.datasets.io.save_dataset`
+renames the finished file into place, a waiter never observes a
+half-written dataset.
+
+Corrupt cache entries (truncated files, stale schema) are treated as
+misses and rebuilt, never propagated.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Optional, Union
+
+from .dataset import Dataset
+from .io import FORMAT_VERSION, DatasetCorruptionError, load_dataset, save_dataset
+
+#: Default on-disk location, overridable via ``REPRO_AUDIT_CACHE_DIR``.
+DEFAULT_CACHE_DIR = Path(
+    os.environ.get("REPRO_AUDIT_CACHE_DIR", "~/.cache/repro-audit")
+).expanduser()
+
+#: How long a waiter polls for another process's build before giving up
+#: and building locally (seconds).
+DEFAULT_LOCK_TIMEOUT = 900.0
+
+#: Poll cadence while waiting on another builder (seconds).
+DEFAULT_POLL_INTERVAL = 0.05
+
+
+@dataclass(frozen=True)
+class CacheKey:
+    """Identity of one cached dataset: the inputs that determine it."""
+
+    builder: str
+    scale: float
+    seed: int
+    schema_version: int = FORMAT_VERSION
+
+    def digest(self) -> str:
+        """Content address: a stable hash of the key tuple."""
+        payload = json.dumps(
+            [
+                self.builder,
+                repr(float(self.scale)),
+                int(self.seed),
+                int(self.schema_version),
+            ],
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+    def filename(self) -> str:
+        """Cache file name: human-readable prefix + content address."""
+        safe = re.sub(r"[^A-Za-z0-9._-]+", "_", self.builder)
+        return (
+            f"{safe}-scale{float(self.scale):g}-seed{self.seed}"
+            f"-v{self.schema_version}-{self.digest()}.json.gz"
+        )
+
+
+@dataclass
+class CacheStats:
+    """Counters for one cache instance's lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    builds: int = 0
+    lock_waits: int = 0
+    evictions: int = 0
+
+    def snapshot(self) -> "CacheStats":
+        return CacheStats(
+            hits=self.hits,
+            misses=self.misses,
+            builds=self.builds,
+            lock_waits=self.lock_waits,
+            evictions=self.evictions,
+        )
+
+    def delta(self, before: "CacheStats") -> "CacheStats":
+        """Counters accumulated since ``before`` was snapshotted."""
+        return CacheStats(
+            hits=self.hits - before.hits,
+            misses=self.misses - before.misses,
+            builds=self.builds - before.builds,
+            lock_waits=self.lock_waits - before.lock_waits,
+            evictions=self.evictions - before.evictions,
+        )
+
+    def summary(self) -> str:
+        return (
+            f"{self.hits} hit(s), {self.misses} miss(es), "
+            f"{self.builds} build(s)"
+        )
+
+
+class DatasetCache:
+    """On-disk dataset store keyed by :class:`CacheKey`.
+
+    ``get_or_build`` is the whole API surface most callers need: it
+    returns the cached dataset when present, otherwise elects a builder
+    via the lockfile protocol and persists the result.
+    """
+
+    def __init__(
+        self,
+        directory: Optional[Union[str, Path]] = None,
+        lock_timeout: float = DEFAULT_LOCK_TIMEOUT,
+        poll_interval: float = DEFAULT_POLL_INTERVAL,
+    ) -> None:
+        self.directory = Path(directory or DEFAULT_CACHE_DIR).expanduser()
+        self.lock_timeout = lock_timeout
+        self.poll_interval = poll_interval
+        self.stats = CacheStats()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DatasetCache({str(self.directory)!r})"
+
+    def path_for(self, key: CacheKey) -> Path:
+        return self.directory / key.filename()
+
+    def _load(self, path: Path) -> Optional[Dataset]:
+        """Load ``path`` if it holds a valid dataset; evict it if corrupt."""
+        if not path.exists():
+            return None
+        try:
+            return load_dataset(path)
+        except DatasetCorruptionError:
+            # A corrupt entry is a miss, not an error: evict and rebuild.
+            self.stats.evictions += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def load(self, key: CacheKey) -> Optional[Dataset]:
+        """The cached dataset for ``key``, or None on a miss."""
+        dataset = self._load(self.path_for(key))
+        if dataset is None:
+            self.stats.misses += 1
+        else:
+            self.stats.hits += 1
+        return dataset
+
+    def store(self, key: CacheKey, dataset: Dataset) -> Path:
+        """Persist ``dataset`` under ``key`` (atomic, deterministic)."""
+        return save_dataset(dataset, self.path_for(key))
+
+    def get_or_build(
+        self, key: CacheKey, build: Callable[[], Dataset]
+    ) -> Dataset:
+        """Fetch ``key`` from disk, or build-and-store it exactly once.
+
+        When several processes ask for the same key concurrently, the
+        first to create the sidecar lockfile simulates; the rest wait
+        for the artifact and load it.  If the elected builder dies (its
+        lock disappears without an artifact) a waiter takes over; if
+        the wait times out the caller builds locally — correctness is
+        never contingent on the lock.
+        """
+        path = self.path_for(key)
+        dataset = self._load(path)
+        if dataset is not None:
+            self.stats.hits += 1
+            return dataset
+        self.stats.misses += 1
+        self.directory.mkdir(parents=True, exist_ok=True)
+        lock = path.with_name(path.name + ".lock")
+        deadline = time.monotonic() + self.lock_timeout
+        while True:
+            try:
+                fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                waited = self._wait_for_builder(path, lock, deadline)
+                if waited is not None:
+                    self.stats.lock_waits += 1
+                    self.stats.hits += 1
+                    return waited
+                if time.monotonic() >= deadline:
+                    # Lock holder is stuck; build locally without it.
+                    self.stats.builds += 1
+                    dataset = build()
+                    self.store(key, dataset)
+                    return dataset
+                continue  # lock vanished without an artifact: re-elect
+            try:
+                os.write(fd, str(os.getpid()).encode("ascii"))
+            finally:
+                os.close(fd)
+            try:
+                # Re-check: the artifact may have landed between our
+                # miss and winning the lock.
+                dataset = self._load(path)
+                if dataset is not None:
+                    self.stats.hits += 1
+                    return dataset
+                self.stats.builds += 1
+                dataset = build()
+                self.store(key, dataset)
+                return dataset
+            finally:
+                try:
+                    lock.unlink()
+                except FileNotFoundError:
+                    pass
+
+    def _wait_for_builder(
+        self, path: Path, lock: Path, deadline: float
+    ) -> Optional[Dataset]:
+        """Poll until the elected builder's artifact appears.
+
+        Returns the loaded dataset, or None when the lock disappeared
+        without an artifact (builder died) or the deadline passed.
+        """
+        while time.monotonic() < deadline:
+            if path.exists():
+                dataset = self._load(path)
+                if dataset is not None:
+                    return dataset
+            if not lock.exists():
+                # Builder exited.  One final check for its artifact.
+                dataset = self._load(path)
+                return dataset
+            time.sleep(self.poll_interval)
+        return None
+
+    def clear(self) -> int:
+        """Delete every cache entry (and stray lock); returns the count."""
+        removed = 0
+        if not self.directory.exists():
+            return removed
+        for entry in self.directory.iterdir():
+            if entry.suffix == ".lock" or entry.name.endswith(".json.gz"):
+                try:
+                    entry.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed

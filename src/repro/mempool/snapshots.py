@@ -170,12 +170,20 @@ class SnapshotStore:
         return [self._snapshots[i] for i in sorted(indexes)]
 
     def first_seen(self) -> dict[str, float]:
-        """Earliest snapshot time at which each txid was observed pending."""
+        """Earliest snapshot time at which each txid was observed pending.
+
+        This is observer-visibility time — the timestamp of the first
+        snapshot containing the transaction — not the transaction's own
+        mempool ``arrival_time``, which can precede it by most of a
+        snapshot interval.  The violation analysis compares what the
+        auditor could actually have seen, so snapshot time is the
+        correct semantics.
+        """
         seen: dict[str, float] = {}
         for snapshot in self._snapshots:
             for tx in snapshot.txs:
                 if tx.txid not in seen:
-                    seen[tx.txid] = tx.arrival_time
+                    seen[tx.txid] = snapshot.time
         return seen
 
 

@@ -94,6 +94,10 @@ class Scenario:
     pools: list[MiningPool]
     observers: list[ObserverConfig]
     workload_config: WorkloadConfig
+    #: The size knob this scenario was built at.  Together with ``name``
+    #: and ``seed`` it uniquely parameterises the build, so the dataset
+    #: cache uses it as a key component.
+    scale: float = 1.0
     services: list[AccelerationService] = field(default_factory=list)
     #: Optional fault schedule injected into the engine run.  Fault
     #: draws use the schedule's own RNG root, so a zero-rate schedule
@@ -275,6 +279,7 @@ def dataset_a_scenario(
     return Scenario(
         name="dataset-A",
         seed=seed,
+        scale=scale,
         engine_config=engine_config,
         pools=pools,
         observers=observers,
@@ -321,6 +326,7 @@ def dataset_b_scenario(
     return Scenario(
         name="dataset-B",
         seed=seed,
+        scale=scale,
         engine_config=engine_config,
         pools=pools,
         observers=observers,
@@ -403,6 +409,7 @@ def dataset_c_scenario(
     return Scenario(
         name="dataset-C",
         seed=seed,
+        scale=scale,
         engine_config=engine_config,
         pools=pools,
         observers=observers,
@@ -435,6 +442,7 @@ def honest_scenario(
     return Scenario(
         name="honest-control",
         seed=seed,
+        scale=float(blocks),
         engine_config=engine_config,
         pools=pools,
         observers=observers,

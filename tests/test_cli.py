@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -20,7 +22,7 @@ class TestList:
 
 class TestRun:
     def test_cheap_experiment_runs(self, capsys):
-        code = main(["run", "table5", "--scale", "0.05"])
+        code = main(["run", "table5", "--scale", "0.05", "--no-cache"])
         out = capsys.readouterr().out
         assert code == 0
         assert "Table 5" in out
@@ -33,9 +35,70 @@ class TestRun:
 
     def test_report_written_to_file(self, tmp_path, capsys):
         out_file = tmp_path / "report.txt"
-        code = main(["run", "fig1", "--scale", "0.05", "--out", str(out_file)])
+        code = main(
+            ["run", "fig1", "--scale", "0.05", "--no-cache", "--out", str(out_file)]
+        )
         assert code == 0
         assert "Fig 1" in out_file.read_text()
+
+    def test_parallel_report_file_matches_sequential(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        seq_file = tmp_path / "seq.txt"
+        par_file = tmp_path / "par.txt"
+        common = ["fig1", "table5", "--scale", "0.04", "--cache-dir", str(cache)]
+        assert main(["run", *common, "--out", str(seq_file)]) == 0
+        assert (
+            main(["run", *common, "--jobs", "2", "--out", str(par_file)]) == 0
+        )
+        capsys.readouterr()
+        assert par_file.read_bytes() == seq_file.read_bytes()
+
+    def test_cache_stats_reported(self, tmp_path, capsys):
+        from repro.analysis.runner import _reset_process_caches
+
+        cache = tmp_path / "cache"
+        args = ["run", "fig5", "--scale", "0.04", "--cache-dir", str(cache)]
+        _reset_process_caches()
+        assert main(args) == 0
+        cold = capsys.readouterr().out
+        assert "dataset cache" in cold and "1 build(s)" in cold
+        # A fresh process (simulated by dropping in-memory memos) loads
+        # the dataset from disk instead of re-simulating.
+        _reset_process_caches()
+        assert main(args) == 0
+        warm = capsys.readouterr().out
+        assert "1 hit(s)" in warm and "0 build(s)" in warm
+        _reset_process_caches()
+
+
+class TestBench:
+    def test_bench_writes_json_document(self, tmp_path, capsys):
+        out_file = tmp_path / "bench.json"
+        code = main(
+            [
+                "bench",
+                "fig5",
+                "--scale", "0.04",
+                "--jobs", "2",
+                "--out", str(out_file),
+            ]
+        )
+        assert code == 0
+        document = json.loads(out_file.read_text())
+        cells = document["measurements"]
+        for cell in (
+            "cold_sequential",
+            "warm_sequential",
+            "cold_parallel",
+            "warm_parallel",
+        ):
+            assert cells[cell]["wall_seconds"] > 0
+        assert cells["cold_sequential"]["cache"]["builds"] >= 1
+        assert cells["warm_sequential"]["cache"]["builds"] == 0
+        assert document["speedups"]["warm_over_cold_sequential"] > 0
+        identical = document["reports_byte_identical"]
+        assert identical["parallel_vs_sequential_warm"]
+        assert identical["warm_vs_cold_sequential"]
 
 
 class TestDataset:

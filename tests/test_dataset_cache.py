@@ -1,0 +1,180 @@
+"""Tests for the content-addressed persistent dataset cache."""
+
+import threading
+import time
+
+import pytest
+
+from repro.datasets.builder import (
+    build_dataset_a,
+    clear_memory_cache,
+    disk_cache_key,
+)
+from repro.datasets.cache import CacheKey, DatasetCache
+from repro.datasets.io import FORMAT_VERSION, dataset_to_dict, save_dataset
+from repro.simulation.scenarios import dataset_a_scenario
+
+from conftest import TxFactory
+from test_records_dataset import build_small_dataset
+
+
+@pytest.fixture
+def txf():
+    return TxFactory("cache")
+
+
+@pytest.fixture
+def small(txf):
+    dataset, *_ = build_small_dataset(txf)
+    return dataset
+
+
+KEY = CacheKey(builder="unit", scale=0.5, seed=7)
+
+
+class TestCacheKey:
+    def test_digest_is_stable(self):
+        assert KEY.digest() == CacheKey("unit", 0.5, 7).digest()
+
+    def test_every_component_changes_the_address(self):
+        digests = {
+            KEY.digest(),
+            CacheKey("other", 0.5, 7).digest(),
+            CacheKey("unit", 0.25, 7).digest(),
+            CacheKey("unit", 0.5, 8).digest(),
+            CacheKey("unit", 0.5, 7, schema_version=FORMAT_VERSION + 1).digest(),
+        }
+        assert len(digests) == 5
+
+    def test_filename_readable_and_addressed(self):
+        name = CacheKey("dataset-C", 0.15, 2020_01_01).filename()
+        assert name.startswith("dataset-C-scale0.15-seed20200101-v")
+        assert name.endswith(".json.gz")
+
+    def test_filename_sanitises_builder(self):
+        name = CacheKey("ext censorship/c", 1.0, 1).filename()
+        assert "/" not in name and " " not in name
+
+    def test_scenario_key_components(self):
+        scenario = dataset_a_scenario(scale=0.25)
+        key = disk_cache_key(scenario)
+        assert key.builder == "dataset-A"
+        assert key.scale == 0.25
+        assert key.seed == scenario.seed
+        assert key.schema_version == FORMAT_VERSION
+
+
+class TestGetOrBuild:
+    def test_cold_build_then_warm_load_round_trips(self, tmp_path, small):
+        cache = DatasetCache(tmp_path)
+        built = cache.get_or_build(KEY, lambda: small)
+        assert built is small
+        assert cache.stats.builds == 1 and cache.stats.misses == 1
+
+        calls = []
+        loaded = cache.get_or_build(KEY, lambda: calls.append(1) or small)
+        assert not calls  # warm: the builder must not run
+        assert cache.stats.hits == 1
+        # The loaded dataset is semantically the built one.
+        assert dataset_to_dict(loaded) == dataset_to_dict(small)
+
+    def test_keys_do_not_collide(self, tmp_path, small):
+        cache = DatasetCache(tmp_path)
+        cache.get_or_build(KEY, lambda: small)
+        other = CacheKey("unit", 0.5, 8)
+        calls = []
+        cache.get_or_build(other, lambda: calls.append(1) or small)
+        assert calls  # different seed: a distinct entry is built
+
+    def test_corrupt_entry_is_evicted_and_rebuilt(self, tmp_path, small):
+        cache = DatasetCache(tmp_path)
+        cache.get_or_build(KEY, lambda: small)
+        path = cache.path_for(KEY)
+        path.write_bytes(b"not gzip at all")
+        rebuilt = cache.get_or_build(KEY, lambda: small)
+        assert rebuilt is small
+        assert cache.stats.evictions == 1
+        assert cache.stats.builds == 2
+
+    def test_clear_removes_entries(self, tmp_path, small):
+        cache = DatasetCache(tmp_path)
+        cache.get_or_build(KEY, lambda: small)
+        assert cache.clear() == 1
+        assert cache.load(KEY) is None
+
+    def test_load_and_store_direct(self, tmp_path, small):
+        cache = DatasetCache(tmp_path)
+        assert cache.load(KEY) is None
+        cache.store(KEY, small)
+        assert cache.load(KEY) is not None
+
+
+class TestLockProtocol:
+    def test_waiter_loads_first_builders_artifact(self, tmp_path, small):
+        cache = DatasetCache(tmp_path, poll_interval=0.01)
+        path = cache.path_for(KEY)
+        lock = path.with_name(path.name + ".lock")
+        tmp_path.mkdir(exist_ok=True)
+        lock.write_text("someone-else")
+
+        results = []
+
+        def wait_side():
+            results.append(
+                cache.get_or_build(KEY, lambda: pytest.fail("waiter built"))
+            )
+
+        thread = threading.Thread(target=wait_side)
+        thread.start()
+        time.sleep(0.05)  # the waiter is now polling on the lock
+        save_dataset(small, path)  # the "other process" finishes its build
+        lock.unlink()
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        assert results and results[0].name == small.name
+        assert cache.stats.lock_waits == 1
+
+    def test_waiter_takes_over_when_builder_dies(self, tmp_path, small):
+        cache = DatasetCache(tmp_path, poll_interval=0.01)
+        path = cache.path_for(KEY)
+        lock = path.with_name(path.name + ".lock")
+        tmp_path.mkdir(exist_ok=True)
+        lock.write_text("dead-builder")
+
+        results = []
+
+        def wait_side():
+            results.append(cache.get_or_build(KEY, lambda: small))
+
+        thread = threading.Thread(target=wait_side)
+        thread.start()
+        time.sleep(0.05)
+        lock.unlink()  # builder vanished without an artifact
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        assert results and results[0] is small
+        assert cache.stats.builds == 1
+
+    def test_timeout_falls_back_to_local_build(self, tmp_path, small):
+        cache = DatasetCache(tmp_path, lock_timeout=0.1, poll_interval=0.01)
+        path = cache.path_for(KEY)
+        lock = path.with_name(path.name + ".lock")
+        tmp_path.mkdir(exist_ok=True)
+        lock.write_text("stuck-forever")
+        built = cache.get_or_build(KEY, lambda: small)
+        assert built is small
+        assert cache.stats.builds == 1
+        lock.unlink()
+
+
+class TestBuilderIntegration:
+    def test_build_dataset_a_populates_and_reuses_cache(self, tmp_path):
+        clear_memory_cache()
+        cache = DatasetCache(tmp_path)
+        first = build_dataset_a(scale=0.04, cache=cache)
+        assert cache.stats.builds == 1
+        clear_memory_cache()
+        second = build_dataset_a(scale=0.04, cache=cache)
+        assert cache.stats.hits == 1
+        assert dataset_to_dict(first) == dataset_to_dict(second)
+        clear_memory_cache()

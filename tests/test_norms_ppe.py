@@ -151,8 +151,59 @@ class TestSppe:
         assert result.tx_count == 0
         assert result.sppe != result.sppe  # NaN
 
+    def test_empty_set_accelerated_fraction_is_nan(self, txf):
+        # An empty per-tx set is "no evidence", and must not read as the
+        # 0.0 a genuinely never-lifted set would produce.
+        block, _ = block_with_rates(txf, [100, 50])
+        result = sppe([block], ["missing"])
+        assert result.accelerated_fraction != result.accelerated_fraction
+        # Degenerate accelerated_fraction agrees with degenerate sppe.
+        assert (result.sppe != result.sppe) == (
+            result.accelerated_fraction != result.accelerated_fraction
+        )
+
     def test_per_transaction_sppe_covers_block(self, txf):
         block, txs = block_with_rates(txf, [100, 50, 10])
         errors = per_transaction_sppe([block])
         assert set(errors) == {t.txid for t in txs}
         assert all(e == pytest.approx(0.0) for e in errors.values())
+
+
+class TestPredictionMemo:
+    def test_memoised_predictions_match_direct_computation(self, txf):
+        from repro.core.ppe import clear_prediction_cache, predictions_for
+
+        block, _ = block_with_rates(txf, [100, 50, 10, 75])
+        clear_prediction_cache()
+        memoised = predictions_for(block)
+        direct = tuple(predict_block_positions(block))
+        assert memoised == direct
+        # Second call returns the cached tuple, not a recomputation.
+        assert predictions_for(block) is memoised
+        clear_prediction_cache()
+
+    def test_repeated_sppe_results_pinned_identical(self, txf):
+        from repro.core.ppe import clear_prediction_cache
+
+        cheap = txf.tx(fee=10, vsize=100, nonce=1)
+        rich = txf.tx(fee=1000, vsize=100, nonce=2)
+        block = make_test_block([cheap, rich])
+        clear_prediction_cache()
+        cold = sppe([block], [cheap.txid])  # populates the memo
+        warm = sppe([block], [cheap.txid])  # served from the memo
+        assert warm.sppe == cold.sppe
+        assert warm.tx_count == cold.tx_count
+        assert warm.per_tx == cold.per_tx
+        clear_prediction_cache()
+
+    def test_filters_memoised_independently(self, txf):
+        from repro.core.ppe import clear_prediction_cache, predictions_for
+
+        parent = txf.tx(fee=500, vsize=100, nonce=1)
+        child = txf.tx(fee=2000, vsize=100, nonce=2, parents=(parent.txid,))
+        block = make_test_block([child, parent])
+        clear_prediction_cache()
+        none_filter = predictions_for(block, CpfpFilter.NONE)
+        children_filter = predictions_for(block, CpfpFilter.CHILDREN)
+        assert len(none_filter) != len(children_filter)
+        clear_prediction_cache()

@@ -1,0 +1,127 @@
+"""Tests for the parallel experiment runner and benchmark harness."""
+
+import pytest
+
+from repro.analysis import runner as runner_mod
+from repro.analysis.experiments import ALL_RUNNERS
+from repro.analysis.runner import (
+    BatteryResult,
+    ExperimentOutcome,
+    run_battery,
+    run_one,
+)
+from repro.datasets.builder import clear_memory_cache
+
+#: Cheap ids: fast at tiny scale and spanning datasets A + none.
+CHEAP_IDS = ["fig1", "table5", "fig14"]
+SCALE = 0.04
+
+
+def _fresh():
+    clear_memory_cache()
+    runner_mod._WORKER_CONTEXTS.clear()
+
+
+class TestRunOne:
+    def test_success_outcome(self):
+        _fresh()
+        outcome = run_one("table5", SCALE)
+        assert outcome.ok
+        assert outcome.experiment_id == "table5"
+        assert outcome.wall_time > 0
+        assert outcome.error is None
+        assert "Table 5" in outcome.report()
+
+    def test_failure_is_captured_not_raised(self, monkeypatch):
+        def explode(ctx):
+            raise RuntimeError("boom")
+
+        monkeypatch.setitem(ALL_RUNNERS, "fig1", explode)
+        _fresh()
+        outcome = run_one("fig1", SCALE)
+        assert not outcome.ok
+        assert "RuntimeError: boom" in outcome.error
+        assert "FAILED" in outcome.report()
+
+
+class TestRunBattery:
+    def test_unknown_id_rejected_upfront(self):
+        with pytest.raises(KeyError):
+            run_battery(["fig99"], scale=SCALE)
+
+    def test_sequential_outcomes_in_request_order(self):
+        _fresh()
+        battery = run_battery(CHEAP_IDS, scale=SCALE, jobs=1)
+        assert [o.experiment_id for o in battery.outcomes] == CHEAP_IDS
+        assert all(o.ok for o in battery.outcomes)
+
+    def test_parallel_report_byte_identical_to_sequential(self, tmp_path):
+        _fresh()
+        sequential = run_battery(
+            CHEAP_IDS, scale=SCALE, jobs=1, cache_dir=tmp_path
+        )
+        _fresh()
+        parallel = run_battery(
+            CHEAP_IDS, scale=SCALE, jobs=3, cache_dir=tmp_path
+        )
+        assert [o.experiment_id for o in parallel.outcomes] == CHEAP_IDS
+        assert parallel.report() == sequential.report()
+
+    def test_one_failure_does_not_abort_the_rest(self, monkeypatch):
+        def explode(ctx):
+            raise ValueError("injected failure")
+
+        monkeypatch.setitem(ALL_RUNNERS, "table5", explode)
+        _fresh()
+        battery = run_battery(CHEAP_IDS, scale=SCALE, jobs=1)
+        by_id = {o.experiment_id: o for o in battery.outcomes}
+        assert not by_id["table5"].ok
+        assert by_id["fig1"].ok and by_id["fig14"].ok
+        assert battery.failed() == [by_id["table5"]]
+        # The failed slot still occupies its place in the report.
+        assert "table5: FAILED" in battery.report()
+
+    def test_timing_table_lists_every_experiment(self):
+        _fresh()
+        battery = run_battery(["table5"], scale=SCALE)
+        table = battery.timing_table()
+        assert "table5" in table and "total" in table
+
+    def test_cache_stats_aggregate_across_outcomes(self, tmp_path):
+        _fresh()
+        battery = run_battery(
+            ["fig5", "fig3"], scale=SCALE, jobs=1, cache_dir=tmp_path
+        )
+        stats = battery.cache_stats()
+        assert stats.builds >= 1  # datasets A and B were built and stored
+        _fresh()
+        warm = run_battery(
+            ["fig5", "fig3"], scale=SCALE, jobs=1, cache_dir=tmp_path
+        )
+        warm_stats = warm.cache_stats()
+        assert warm_stats.builds == 0
+        assert warm_stats.hits >= 1
+        assert warm.report() == battery.report()
+
+
+class TestWarmRunsSkipSimulation:
+    def test_cold_then_warm_identical_and_faster_build_counts(self, tmp_path):
+        _fresh()
+        cold = run_battery(["fig5"], scale=SCALE, cache_dir=tmp_path)
+        _fresh()
+        warm = run_battery(["fig5"], scale=SCALE, cache_dir=tmp_path)
+        assert cold.report() == warm.report()
+        assert cold.cache_stats().builds == 1
+        assert warm.cache_stats().builds == 0
+
+
+class TestBatteryResultShape:
+    def test_all_ok_reflects_failing_checks(self):
+        good = ExperimentOutcome("x", 0.1, error=None, result=None)
+        # An outcome without a result is not ok.
+        assert not good.ok
+        battery = BatteryResult(
+            outcomes=[good], jobs=1, scale=SCALE, total_wall=0.1
+        )
+        assert not battery.all_ok
+        assert battery.failed() == [good]

@@ -96,7 +96,7 @@ class TestStore:
         store = SnapshotStore([snap(0.0)])
         assert len(store.sample(10, np.random.default_rng(1))) == 1
 
-    def test_first_seen(self):
+    def test_first_seen_uses_snapshot_time(self):
         early = MempoolSnapshot(
             time=0.0, txs=(SnapshotTx("t", 0.5, 100, 100),)
         )
@@ -104,7 +104,26 @@ class TestStore:
             time=15.0, txs=(SnapshotTx("t", 0.5, 100, 100),)
         )
         store = SnapshotStore([early, late])
-        assert store.first_seen() == {"t": 0.5}
+        # Observer-visibility semantics: the earliest *snapshot* the tx
+        # appeared in, not its mempool arrival time.
+        assert store.first_seen() == {"t": 0.0}
+
+    def test_first_seen_when_arrival_and_snapshot_differ(self):
+        # Arrives at t=3.1, between snapshots; only becomes auditor-visible
+        # at the t=15 snapshot.  A tx present from the first snapshot keeps
+        # that snapshot's time.
+        s0 = MempoolSnapshot(time=0.0, txs=(SnapshotTx("a", 0.0, 100, 100),))
+        s1 = MempoolSnapshot(
+            time=15.0,
+            txs=(
+                SnapshotTx("a", 0.0, 100, 100),
+                SnapshotTx("b", 3.1, 200, 100),
+            ),
+        )
+        store = SnapshotStore([s0, s1])
+        first = store.first_seen()
+        assert first["b"] == 15.0  # not the 3.1 arrival time
+        assert first["a"] == 0.0
 
     def test_merge_stores(self):
         merged = merge_stores(
