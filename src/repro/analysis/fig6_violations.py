@@ -26,17 +26,21 @@ EPSILONS = (0.0, EPSILON_10_SECONDS, EPSILON_10_MINUTES)
 
 
 def _fractions(auditor: Auditor, exclude_cpfp: bool, rng_seed: int) -> dict[float, np.ndarray]:
-    fractions: dict[float, np.ndarray] = {}
-    for epsilon in EPSILONS:
-        stats = auditor.violation_stats(
-            epsilon=epsilon,
-            exclude_cpfp=exclude_cpfp,
-            rng=np.random.default_rng(rng_seed),
+    # One snapshot sample shared across the ε grid: identical to the
+    # former per-ε loop (each draw re-seeded identically) but the
+    # vectorized path reuses the ε-independent pair comparisons.
+    stats_by_epsilon = auditor.violation_stats_multi(
+        EPSILONS,
+        exclude_cpfp=exclude_cpfp,
+        rng=np.random.default_rng(rng_seed),
+    )
+    return {
+        epsilon: np.asarray(
+            [s.violating_fraction for s in stats_by_epsilon[epsilon]],
+            dtype=float,
         )
-        fractions[epsilon] = np.asarray(
-            [s.violating_fraction for s in stats], dtype=float
-        )
-    return fractions
+        for epsilon in EPSILONS
+    }
 
 
 def run(ctx: DataContext) -> ExperimentResult:

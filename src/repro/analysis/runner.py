@@ -23,16 +23,20 @@ cache directories and returns the measurements as a JSON-ready dict
 
 from __future__ import annotations
 
+import math
 import multiprocessing
+import os
 import shutil
 import tempfile
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Optional, Sequence, Union
+from typing import Callable, Optional, Sequence, Union
 
 from ..core.ppe import clear_prediction_cache
+from ..core.vectorized import SCALAR_ENV
 from ..datasets.builder import clear_memory_cache
 from ..datasets.cache import CacheStats, DatasetCache
 from .base import DEFAULT_SCALE, DataContext, ExperimentResult
@@ -321,3 +325,137 @@ def run_bench(
         },
     }
     return document
+
+
+# ----------------------------------------------------------------------
+# Scalar-vs-vectorized metrics benchmark
+# ----------------------------------------------------------------------
+@contextmanager
+def _scalar_env(enabled: bool):
+    """Temporarily force (or clear) the ``REPRO_AUDIT_SCALAR`` hatch."""
+    previous = os.environ.get(SCALAR_ENV)
+    if enabled:
+        os.environ[SCALAR_ENV] = "1"
+    else:
+        os.environ.pop(SCALAR_ENV, None)
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(SCALAR_ENV, None)
+        else:
+            os.environ[SCALAR_ENV] = previous
+
+
+def _timed(fn: Callable[[], object], repeats: int) -> tuple[float, object]:
+    """(best wall time over ``repeats``, last result)."""
+    best = math.inf
+    result: object = None
+    for _ in range(max(repeats, 1)):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _rows_equal(scalar_rows, fast_rows) -> bool:
+    """Row-level equality with NaN-tolerant SPPE comparison."""
+    if len(scalar_rows) != len(fast_rows):
+        return False
+    for a, b in zip(scalar_rows, fast_rows):
+        if (
+            a.owner_pool != b.owner_pool
+            or a.target_pool != b.target_pool
+            or a.test != b.test
+            or a.tx_count != b.tx_count
+        ):
+            return False
+        if a.sppe != b.sppe and not (
+            math.isnan(a.sppe) and math.isnan(b.sppe)
+        ):
+            return False
+    return True
+
+
+def run_metrics_bench(
+    scale: float = 0.3,
+    cache_dir: Optional[Union[str, Path]] = None,
+    repeats: int = 2,
+) -> dict:
+    """Time the scalar oracle against the vectorized metrics core.
+
+    Builds (or loads) the dataset-C analogue at ``scale`` and times the
+    Table 2 per-pool SPPE sweep, the chain-wide PPE distribution, and
+    the Fig 6 violation grid in both modes.  Vectorized timings are
+    reported twice: *cold* (first call on a fresh auditor — pays for
+    packing the chain into arrays) and *warm* (arrays cached); the
+    headline ``speedup`` compares the scalar best against the vectorized
+    cold time, i.e. it already amortises nothing.  Each cell also checks
+    the two modes produced identical results.
+    """
+    from ..core.audit import Auditor
+    from ..datasets.builder import build_dataset_c
+
+    import numpy as np
+
+    cache = DatasetCache(cache_dir) if cache_dir is not None else DatasetCache()
+    dataset = build_dataset_c(scale=scale, cache=cache)
+    cells: dict[str, dict] = {}
+
+    def cell(
+        name: str,
+        run: Callable[[Auditor], object],
+        same: Callable[[object, object], bool],
+    ) -> None:
+        with _scalar_env(True):
+            auditor = Auditor(dataset)
+            scalar_seconds, scalar_result = _timed(
+                lambda: run(auditor), repeats
+            )
+        with _scalar_env(False):
+            auditor = Auditor(dataset)
+            start = time.perf_counter()
+            fast_result = run(auditor)
+            cold = time.perf_counter() - start
+            warm, fast_result = _timed(lambda: run(auditor), repeats)
+        cells[name] = {
+            "scalar_seconds": round(scalar_seconds, 4),
+            "vectorized_cold_seconds": round(cold, 4),
+            "vectorized_warm_seconds": round(warm, 4),
+            "speedup": round(scalar_seconds / max(cold, 1e-9), 2),
+            "warm_speedup": round(scalar_seconds / max(warm, 1e-9), 2),
+            "identical": bool(same(scalar_result, fast_result)),
+        }
+
+    cell(
+        "table2_sppe_sweep",
+        lambda auditor: auditor.self_interest_table(),
+        _rows_equal,
+    )
+    cell(
+        "ppe_distribution",
+        lambda auditor: auditor.ppe_distribution(),
+        lambda a, b: a == b,
+    )
+    cell(
+        "fig6_violation_grid",
+        lambda auditor: auditor.violation_stats_multi(
+            (0.0, 10.0, 600.0), rng=np.random.default_rng(30)
+        ),
+        lambda a, b: a == b,
+    )
+    return {
+        "benchmark": "metrics",
+        "dataset": "dataset_c",
+        "scale": scale,
+        "repeats": repeats,
+        "cells": cells,
+        "table2_speedup": cells["table2_sppe_sweep"]["speedup"],
+        "all_identical": all(c["identical"] for c in cells.values()),
+        # Warm-vs-warm: the scalar timings are best-of-N, so per-block
+        # memos built by earlier repeats make them effectively warm; the
+        # fair "never slower" gate compares against vectorized warm.
+        "vectorized_never_slower": all(
+            c["warm_speedup"] >= 1.0 for c in cells.values()
+        ),
+    }

@@ -46,6 +46,10 @@ class Blockchain:
         # UTXO-lite bookkeeping: every spent outpoint, for double-spend
         # rejection (the chain-level guarantee RBF races rely on).
         self._spent_outpoints: dict[object, str] = {}
+        # Lazily built address → txids index; stamped with the chain
+        # length it was built at so appends invalidate it.
+        self._address_index: Optional[dict[str, list[str]]] = None
+        self._address_index_height = -1
         for block in blocks:
             self.append(block)
 
@@ -176,3 +180,43 @@ class Blockchain:
                 if self.resolve_input_addresses(tx) & addresses:
                     touching.append(tx.txid)
         return touching
+
+    def address_index(self) -> dict[str, list[str]]:
+        """address → txids of committed transactions touching it.
+
+        One chain pass replaces the per-wallet-set scans of
+        :meth:`transactions_touching`: a transaction is indexed under
+        every output address and every resolved input address, so
+        ``union over wallet addresses`` equals the scan result as a set.
+        The index is cached and rebuilt if the chain has grown.
+        """
+        if (
+            self._address_index is None
+            or self._address_index_height != len(self._blocks)
+        ):
+            index: dict[str, list[str]] = {}
+            for block in self._blocks:
+                for tx in block.transactions:
+                    touched: set[str] = {
+                        txout.address for txout in tx.outputs
+                    }
+                    touched.update(self.resolve_input_addresses(tx))
+                    for address in touched:
+                        index.setdefault(address, []).append(tx.txid)
+            self._address_index = index
+            self._address_index_height = len(self._blocks)
+        return self._address_index
+
+    def transactions_touching_indexed(
+        self, addresses: frozenset[str]
+    ) -> frozenset[str]:
+        """Index-backed equivalent of :meth:`transactions_touching`.
+
+        Returns a set (chain order is not preserved across the union);
+        differential tests assert it equals the scan as a set.
+        """
+        index = self.address_index()
+        touching: set[str] = set()
+        for address in addresses:
+            touching.update(index.get(address, ()))
+        return frozenset(touching)

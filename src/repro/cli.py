@@ -97,6 +97,19 @@ def _build_parser() -> argparse.ArgumentParser:
         default="BENCH_runner.json",
         help="where to write the JSON measurements",
     )
+    bench_parser.add_argument(
+        "--suite",
+        choices=["runner", "metrics", "full"],
+        default="runner",
+        help="'runner' times the experiment battery grid, 'metrics' the "
+        "scalar-vs-vectorized audit kernels, 'full' both",
+    )
+    bench_parser.add_argument(
+        "--metrics-scale",
+        type=float,
+        default=0.3,
+        help="dataset scale for the metrics suite (default 0.3)",
+    )
 
     dataset_parser = sub.add_parser(
         "dataset", help="build a dataset analogue and save it to disk"
@@ -224,18 +237,37 @@ def _run_command(args: argparse.Namespace) -> int:
 
 
 def _bench_command(args: argparse.Namespace) -> int:
-    from .analysis.runner import run_bench
+    from .analysis.runner import run_bench, run_metrics_bench
 
-    ids = _resolve_ids(args.experiments)
-    if ids is None:
-        return 2
-    document = run_bench(ids, scale=args.scale, jobs=args.jobs)
+    exit_code = 0
+    if args.suite in ("runner", "full"):
+        ids = _resolve_ids(args.experiments)
+        if ids is None:
+            return 2
+        document = run_bench(ids, scale=args.scale, jobs=args.jobs)
+    else:
+        document = {"benchmark": "metrics-only"}
+    if args.suite in ("metrics", "full"):
+        metrics = run_metrics_bench(scale=args.metrics_scale)
+        document["metrics"] = metrics
+        if not metrics["all_identical"]:
+            print(
+                "FAIL: vectorized metrics differ from the scalar oracle",
+                file=sys.stderr,
+            )
+            exit_code = 1
+        if not metrics["vectorized_never_slower"]:
+            print(
+                "FAIL: vectorized path slower than the scalar oracle",
+                file=sys.stderr,
+            )
+            exit_code = 1
     text = json.dumps(document, indent=2, sort_keys=True)
     with open(args.out, "w", encoding="utf-8") as handle:
         handle.write(text + "\n")
     print(text)
     print(f"\nbenchmark written to {args.out}")
-    return 0
+    return exit_code
 
 
 def _dataset_command(args: argparse.Namespace) -> int:

@@ -72,6 +72,7 @@ def detection_sweep(
     control_sample_size: int = 1000,
     rng: Optional[np.random.Generator] = None,
     cpfp_filter: CpfpFilter = CpfpFilter.CHILDREN,
+    sppe_by_txid: Optional[dict[str, float]] = None,
 ) -> DetectionReport:
     """Reproduce Table 4 for one pool's blocks.
 
@@ -79,9 +80,14 @@ def detection_sweep(
     checker.  The control draws a uniform random sample of all committed
     transactions and reports how many were accelerated — the paper's
     sanity check that high SPPE, not chance, flags acceleration.
+
+    ``sppe_by_txid`` lets callers supply the per-transaction signed
+    errors precomputed (e.g. from packed arrays); it must be in block
+    order, since the control sample indexes into its insertion order.
     """
     blocks = list(blocks)
-    sppe_by_txid = per_transaction_sppe(blocks, cpfp_filter)
+    if sppe_by_txid is None:
+        sppe_by_txid = per_transaction_sppe(blocks, cpfp_filter)
     rows = []
     for threshold in thresholds:
         candidates = candidate_txids(sppe_by_txid, threshold)
@@ -139,10 +145,12 @@ def score_detector(
     accelerated_truth: frozenset[str],
     thresholds: Sequence[float] = TABLE4_THRESHOLDS,
     cpfp_filter: CpfpFilter = CpfpFilter.CHILDREN,
+    sppe_by_txid: Optional[dict[str, float]] = None,
 ) -> list[DetectorScore]:
     """Precision *and recall* of the SPPE detector at each threshold."""
     blocks = list(blocks)
-    sppe_by_txid = per_transaction_sppe(blocks, cpfp_filter)
+    if sppe_by_txid is None:
+        sppe_by_txid = per_transaction_sppe(blocks, cpfp_filter)
     committed_truth = accelerated_truth & set(sppe_by_txid)
     scores = []
     for threshold in thresholds:

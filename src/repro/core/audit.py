@@ -38,6 +38,14 @@ from .congestion import (
 from .norms import CpfpFilter
 from .ppe import BlockPpe, PpeSummary, SppeResult, chain_ppe, sppe, summarize_ppe
 from .stattests import PrioritizationTestResult, prioritization_test
+from .vectorized import (
+    ChainArrays,
+    analyze_snapshots_multi,
+    chain_ppe_arrays,
+    per_transaction_sppe_arrays,
+    scalar_mode,
+    sppe_arrays,
+)
 from .violations import (
     SnapshotView,
     ViolationStats,
@@ -100,6 +108,17 @@ class Auditor:
     def __init__(self, dataset: Dataset) -> None:
         self.dataset = dataset
         self._quality: Optional[DataQualityReport] = None
+        self._arrays: dict[CpfpFilter, ChainArrays] = {}
+
+    def arrays(
+        self, cpfp_filter: CpfpFilter = CpfpFilter.CHILDREN
+    ) -> ChainArrays:
+        """The dataset's chain packed for the vectorized path (cached)."""
+        cached = self._arrays.get(cpfp_filter)
+        if cached is None:
+            cached = ChainArrays.from_dataset(self.dataset, cpfp_filter)
+            self._arrays[cpfp_filter] = cached
+        return cached
 
     def quality_report(self) -> DataQualityReport:
         """Measured coverage/gap statistics of this dataset (cached)."""
@@ -114,15 +133,23 @@ class Auditor:
         self, cpfp_filter: CpfpFilter = CpfpFilter.CHILDREN
     ) -> list[BlockPpe]:
         """Per-block PPE over the whole chain (Fig 7a input)."""
-        return chain_ppe(self.dataset.chain, cpfp_filter)
+        if scalar_mode():
+            return chain_ppe(self.dataset.chain, cpfp_filter)
+        return chain_ppe_arrays(self.arrays(cpfp_filter))
 
     def ppe_summary(self) -> PpeSummary:
         return summarize_ppe(self.ppe_distribution())
 
     def ppe_by_pool(self, pools: Sequence[str]) -> dict[str, list[BlockPpe]]:
         """PPE distributions for named pools (Fig 7b input)."""
+        if scalar_mode():
+            return {
+                pool: chain_ppe(self.dataset.blocks_of(pool)) for pool in pools
+            }
+        arrays = self.arrays()
         return {
-            pool: chain_ppe(self.dataset.blocks_of(pool)) for pool in pools
+            pool: chain_ppe_arrays(arrays, block_mask=arrays.block_mask(pool))
+            for pool in pools
         }
 
     # ------------------------------------------------------------------
@@ -154,6 +181,27 @@ class Auditor:
         """Violation fractions per sampled snapshot at one ε."""
         views = self.snapshot_views(count, rng=rng, exclude_cpfp=exclude_cpfp)
         return [analyze_snapshot(view, epsilon) for view in views]
+
+    def violation_stats_multi(
+        self,
+        epsilons: Sequence[float],
+        count: int = 30,
+        exclude_cpfp: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ) -> dict[float, list[ViolationStats]]:
+        """Violation stats for a whole ε grid over one snapshot sample.
+
+        Joins the snapshots once and (on the vectorized path) reuses the
+        ε-independent pair comparisons across the grid — the Fig 6 entry
+        point.
+        """
+        views = self.snapshot_views(count, rng=rng, exclude_cpfp=exclude_cpfp)
+        if scalar_mode():
+            return {
+                epsilon: [analyze_snapshot(view, epsilon) for view in views]
+                for epsilon in epsilons
+            }
+        return analyze_snapshots_multi(views, epsilons)
 
     # ------------------------------------------------------------------
     # §5.1/§5.2 — differential prioritization
@@ -219,8 +267,19 @@ class Auditor:
     def sppe_for(
         self, target_pool: str, txids: Iterable[str]
     ) -> SppeResult:
-        """SPPE of ``txids`` inside blocks mined by ``target_pool``."""
+        """SPPE of ``txids`` inside blocks mined by ``target_pool``.
+
+        Always the scalar oracle: the result carries the full per-tx
+        prediction records.  Table loops that only need the SPPE scalar
+        go through :meth:`sppe_value` instead.
+        """
         return sppe(self.dataset.blocks_of(target_pool), txids)
+
+    def sppe_value(self, target_pool: str, txids: Iterable[str]) -> float:
+        """SPPE of ``txids`` in ``target_pool``'s blocks, scalar only."""
+        if scalar_mode():
+            return self.sppe_for(target_pool, txids).sppe
+        return sppe_arrays(self.arrays(), txids, pool=target_pool).sppe
 
     def self_interest_table(
         self,
@@ -246,6 +305,21 @@ class Auditor:
                 for est in estimates
                 if est.share >= min_target_share and est.pool != "unknown"
             ]
+        if scalar_mode():
+            return self._self_interest_table_scalar(
+                owner_pools, target_pools, use_inferred
+            )
+        return self._self_interest_table_fast(
+            owner_pools, target_pools, use_inferred
+        )
+
+    def _self_interest_table_scalar(
+        self,
+        owner_pools: Sequence[str],
+        target_pools: Sequence[str],
+        use_inferred: bool,
+    ) -> list[SelfInterestRow]:
+        """Reference Table 2 loop: per-pair scans, no shared state."""
         rows: list[SelfInterestRow] = []
         for owner in owner_pools:
             txids = (
@@ -260,6 +334,55 @@ class Auditor:
                 if test.y == 0:
                     continue
                 sppe_result = self.sppe_for(target, txids)
+                rows.append(
+                    SelfInterestRow(
+                        owner_pool=owner,
+                        target_pool=target,
+                        test=test,
+                        sppe=sppe_result.sppe,
+                        tx_count=len(txids),
+                    )
+                )
+        return rows
+
+    def _self_interest_table_fast(
+        self,
+        owner_pools: Sequence[str],
+        target_pools: Sequence[str],
+        use_inferred: bool,
+    ) -> list[SelfInterestRow]:
+        """Vectorized Table 2 loop — same rows, shared per-owner work.
+
+        Hash shares are read once, each owner's transaction set comes
+        from the chain's address index (one pass, not one scan per
+        owner), its c-block labels are computed once instead of once per
+        target, and SPPE selects from the packed arrays via a
+        precomputed match.  The binomial tails reuse the scalar oracle
+        (they are cheap and this keeps p-values bit-identical).
+        """
+        arrays = self.arrays()
+        shares = {est.pool: est.share for est in self.dataset.hash_rates()}
+        rows: list[SelfInterestRow] = []
+        for owner in owner_pools:
+            txids = (
+                self.dataset.inferred_self_interest_txids_indexed(owner)
+                if use_inferred
+                else self.dataset.self_interest_txids(owner)
+            )
+            if not txids:
+                continue
+            miners = self.dataset.c_block_miners(txids)
+            matched = arrays.match_indices(txids)
+            for target in target_pools:
+                theta0 = shares.get(target, 0.0)
+                if not 0.0 < theta0 < 1.0:
+                    continue  # mirrors the degenerate y == 0 skip
+                test = prioritization_test(target, theta0, miners)
+                if test.y == 0:
+                    continue
+                sppe_result = sppe_arrays(
+                    arrays, txids, pool=target, matched=matched
+                )
                 rows.append(
                     SelfInterestRow(
                         owner_pool=owner,
@@ -288,8 +411,13 @@ class Auditor:
         rows = []
         for pool in target_pools:
             test = self.prioritization_test_for(pool, scam_txids)
-            sppe_result = self.sppe_for(pool, scam_txids)
-            rows.append(ScamRow(pool=pool, test=test, sppe=sppe_result.sppe))
+            rows.append(
+                ScamRow(
+                    pool=pool,
+                    test=test,
+                    sppe=self.sppe_value(pool, scam_txids),
+                )
+            )
         return rows
 
     # ------------------------------------------------------------------
@@ -308,12 +436,18 @@ class Auditor:
         the service's public checker.
         """
         accelerated = self.dataset.accelerated_txids(service_name)
+        sppe_by_txid = (
+            None
+            if scalar_mode()
+            else per_transaction_sppe_arrays(self.arrays(), pool=pool)
+        )
         return detection_sweep(
             self.dataset.blocks_of(pool),
             is_accelerated=lambda txid: txid in accelerated,
             pool=pool,
             thresholds=thresholds,
             rng=rng if rng is not None else np.random.default_rng(4),
+            sppe_by_txid=sppe_by_txid,
         )
 
     def dark_fee_scores(
@@ -321,7 +455,14 @@ class Auditor:
     ) -> list[DetectorScore]:
         """Precision *and* recall against ground truth (extension)."""
         accelerated = self.dataset.accelerated_txids(service_name)
-        return score_detector(self.dataset.blocks_of(pool), accelerated)
+        sppe_by_txid = (
+            None
+            if scalar_mode()
+            else per_transaction_sppe_arrays(self.arrays(), pool=pool)
+        )
+        return score_detector(
+            self.dataset.blocks_of(pool), accelerated, sppe_by_txid=sppe_by_txid
+        )
 
     # ------------------------------------------------------------------
     # §4.1 — congestion and delays

@@ -83,22 +83,42 @@ def binom_tail_upper(x: int, n: int, p: float) -> float:
     summed opposite tail.  Complementing a tail whose mass is ~1 would
     lose the answer to floating-point cancellation — exactly the regime
     Table 2 lives in (x far above np, p-values below 1e-100).
+
+    Degenerate rates short-circuit: at p = 0 all mass sits at B = 0 and
+    at p = 1 all mass sits at B = n, so the tails are exactly 0 or 1
+    without routing a point mass through log-space summation.
     """
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must be in [0,1], got {p}")
     if x <= 0:
         return 1.0
     if x > n:
         return 0.0
+    if p == 0.0:
+        return 0.0  # x >= 1 but B = 0 surely
+    if p == 1.0:
+        return 1.0  # x <= n and B = n surely
     if x > n * p:
         return _direct_upper(x, n, p)
     return max(0.0, 1.0 - _direct_lower(x - 1, n, p))
 
 
 def binom_tail_lower(x: int, n: int, p: float) -> float:
-    """P(B ≤ x) — the deceleration-test p-value (exact)."""
+    """P(B ≤ x) — the deceleration-test p-value (exact).
+
+    Degenerate rates short-circuit exactly as in
+    :func:`binom_tail_upper`.
+    """
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must be in [0,1], got {p}")
     if x < 0:
         return 0.0
     if x >= n:
         return 1.0
+    if p == 0.0:
+        return 1.0  # x >= 0 and B = 0 surely
+    if p == 1.0:
+        return 0.0  # x < n but B = n surely
     if x < n * p:
         return _direct_lower(x, n, p)
     return max(0.0, 1.0 - _direct_upper(x + 1, n, p))

@@ -165,6 +165,18 @@ class Dataset:
             return frozenset()
         return frozenset(self.chain.transactions_touching(wallets))
 
+    def inferred_self_interest_txids_indexed(self, pool: str) -> frozenset[str]:
+        """Index-backed :meth:`inferred_self_interest_txids`.
+
+        Same set, computed from the chain's one-pass address index
+        instead of a full scan per pool; the Table 2 sweep calls this
+        once per owner pool.
+        """
+        wallets = self.pool_wallets.get(pool, frozenset())
+        if not wallets:
+            return frozenset()
+        return self.chain.transactions_touching_indexed(wallets)
+
     # ------------------------------------------------------------------
     # c-block machinery for the statistical tests
     # ------------------------------------------------------------------

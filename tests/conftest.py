@@ -20,6 +20,16 @@ from repro.datasets.builder import (
 from repro.mempool.mempool import MempoolEntry
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regen-golden",
+        action="store_true",
+        default=False,
+        help="rewrite tests/golden/ fixtures from the current code "
+        "instead of diffing against them",
+    )
+
+
 class TxFactory:
     """Deterministic transaction factory for unit tests."""
 

@@ -166,6 +166,94 @@ class TestLockProtocol:
         assert cache.stats.builds == 1
         lock.unlink()
 
+    def test_stale_lock_from_crashed_run_does_not_block_warm_hits(
+        self, tmp_path, small
+    ):
+        """A leftover lock must never force a rebuild once the artifact exists.
+
+        The local-build fallback deliberately leaves the foreign lock in
+        place (it is not ours to remove); the artifact check runs before
+        the lock protocol, so every later call is a plain hit.
+        """
+        cache = DatasetCache(tmp_path, lock_timeout=0.1, poll_interval=0.01)
+        path = cache.path_for(KEY)
+        lock = path.with_name(path.name + ".lock")
+        tmp_path.mkdir(exist_ok=True)
+        lock.write_text("crashed-run")
+        cache.get_or_build(KEY, lambda: small)
+        assert lock.exists()  # the stale lock survives the fallback build
+
+        calls = []
+        again = cache.get_or_build(KEY, lambda: calls.append(1) or small)
+        assert not calls  # warm: loaded straight from the artifact
+        assert cache.stats.hits == 1
+        assert dataset_to_dict(again) == dataset_to_dict(small)
+        assert cache.clear() == 2  # artifact + stale lock both swept
+
+    def test_reelection_builds_once_and_cleans_its_own_lock(
+        self, tmp_path, small
+    ):
+        """Lock vanishing without an artifact re-elects the waiter.
+
+        The waiter must win the lock itself (not fall through to the
+        timeout path), build exactly once, and remove *its* lock when
+        done, leaving the directory clean.
+        """
+        cache = DatasetCache(tmp_path, lock_timeout=30.0, poll_interval=0.01)
+        path = cache.path_for(KEY)
+        lock = path.with_name(path.name + ".lock")
+        tmp_path.mkdir(exist_ok=True)
+        lock.write_text("doomed-builder")
+
+        built = []
+
+        def wait_side():
+            built.append(cache.get_or_build(KEY, lambda: small))
+
+        thread = threading.Thread(target=wait_side)
+        thread.start()
+        time.sleep(0.05)  # waiter is polling on the foreign lock
+        lock.unlink()  # builder died: no artifact, no lock
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        assert built and built[0] is small
+        assert cache.stats.builds == 1
+        assert cache.stats.lock_waits == 0  # it built, it did not wait
+        assert not lock.exists()  # re-elected winner removed its lock
+        assert path.exists()
+
+    def test_winner_rechecks_artifact_after_acquiring_lock(
+        self, tmp_path, small, monkeypatch
+    ):
+        """The artifact may land between the miss and winning the lock.
+
+        Simulated by dropping the finished artifact from inside the lock
+        acquisition itself: the winner's re-check must load it instead
+        of rebuilding, and still release the lock.
+        """
+        import os as os_module
+
+        from repro.datasets import cache as cache_module
+
+        cache = DatasetCache(tmp_path)
+        path = cache.path_for(KEY)
+        real_open = os_module.open
+
+        def racing_open(target, flags, *args, **kwargs):
+            if str(target).endswith(".lock"):
+                save_dataset(small, path)  # the other process just finished
+            return real_open(target, flags, *args, **kwargs)
+
+        monkeypatch.setattr(cache_module.os, "open", racing_open)
+        loaded = cache.get_or_build(
+            KEY, lambda: pytest.fail("winner rebuilt despite fresh artifact")
+        )
+        assert dataset_to_dict(loaded) == dataset_to_dict(small)
+        assert cache.stats.builds == 0
+        assert cache.stats.hits == 1
+        lock = path.with_name(path.name + ".lock")
+        assert not lock.exists()  # released even on the re-check path
+
 
 class TestBuilderIntegration:
     def test_build_dataset_a_populates_and_reuses_cache(self, tmp_path):
