@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Optional, Sequence, Union
 
+from .. import obs
 from ..core.ppe import clear_prediction_cache
 from ..core.vectorized import SCALAR_ENV
 from ..datasets.builder import clear_memory_cache
@@ -52,6 +53,10 @@ class ExperimentOutcome:
     result: Optional[ExperimentResult] = None
     error: Optional[str] = None
     cache: CacheStats = field(default_factory=CacheStats)
+    #: Metrics recorded while this experiment ran (tracing only) — a
+    #: snapshot delta, so a pool worker's contribution can be merged
+    #: back into the parent's registry.
+    obs: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -152,16 +157,23 @@ def run_one(
     """
     ctx = _context_for(scale, cache_dir)
     before = ctx.cache.stats.snapshot() if ctx.cache is not None else None
+    obs_before = obs.snapshot() if obs.is_enabled() else None
     start = time.perf_counter()
     try:
-        result = run_experiment(experiment_id, ctx)
+        with obs.span("runner.experiment"):
+            result = run_experiment(experiment_id, ctx)
         error = None
+        obs.counter("runner.experiments.ok")
     except Exception as exc:  # degradation tolerance: record, don't raise
         result = None
         error = f"{type(exc).__name__}: {exc}"
+        obs.counter("runner.experiments.raised")
     wall = time.perf_counter() - start
     cache_delta = (
         ctx.cache.stats.delta(before) if before is not None else CacheStats()
+    )
+    obs_delta = (
+        obs.delta(obs_before, obs.snapshot()) if obs_before is not None else None
     )
     return ExperimentOutcome(
         experiment_id=experiment_id,
@@ -169,6 +181,7 @@ def run_one(
         result=result,
         error=error,
         cache=cache_delta,
+        obs=obs_delta,
     )
 
 
@@ -216,6 +229,9 @@ def run_battery(
                 index = futures[future]
                 try:
                     outcomes[index] = future.result()
+                    # A pool worker recorded into its own process-local
+                    # registry; fold its contribution into ours.
+                    obs.merge(outcomes[index].obs)
                 except Exception as exc:  # worker process died
                     outcomes[index] = ExperimentOutcome(
                         experiment_id=ids[index],
@@ -242,6 +258,7 @@ def _bench_cell(
     ids: Sequence[str], scale: float, jobs: int, cache_dir: str
 ) -> tuple[dict, BatteryResult]:
     _reset_process_caches()
+    obs_before = obs.snapshot() if obs.is_enabled() else None
     battery = run_battery(ids, scale=scale, jobs=jobs, cache_dir=cache_dir)
     stats = battery.cache_stats()
     cell = {
@@ -260,6 +277,8 @@ def _bench_cell(
             o.experiment_id: round(o.wall_time, 4) for o in battery.outcomes
         },
     }
+    if obs_before is not None:
+        cell["obs"] = obs.delta(obs_before, obs.snapshot())
     return cell, battery
 
 
@@ -275,23 +294,28 @@ def run_bench(
     for every simulation (and populates the cache), the *warm* cell
     re-runs against the populated cache.  In-process memos are cleared
     between cells so warm timings measure the disk cache, not leftover
-    objects.  Returns the JSON-ready measurement document.
+    objects.  Each cell carries its ``obs`` metrics snapshot (tracing is
+    enabled for the duration of the bench), so the committed
+    ``BENCH_runner.json`` also documents what the substrate *did* —
+    blocks mined, templates built, cache traffic.  Returns the
+    JSON-ready measurement document.
     """
     ids = list(experiment_ids)
     measurements: dict[str, dict] = {}
     reports: dict[str, str] = {}
-    for mode, mode_jobs in (("sequential", 1), ("parallel", jobs)):
-        cache_dir = tempfile.mkdtemp(
-            prefix=f"repro-bench-{mode}-",
-            dir=str(work_dir) if work_dir is not None else None,
-        )
-        try:
-            for phase in ("cold", "warm"):
-                cell, battery = _bench_cell(ids, scale, mode_jobs, cache_dir)
-                measurements[f"{phase}_{mode}"] = cell
-                reports[f"{phase}_{mode}"] = battery.report()
-        finally:
-            shutil.rmtree(cache_dir, ignore_errors=True)
+    with obs.tracing():
+        for mode, mode_jobs in (("sequential", 1), ("parallel", jobs)):
+            cache_dir = tempfile.mkdtemp(
+                prefix=f"repro-bench-{mode}-",
+                dir=str(work_dir) if work_dir is not None else None,
+            )
+            try:
+                for phase in ("cold", "warm"):
+                    cell, battery = _bench_cell(ids, scale, mode_jobs, cache_dir)
+                    measurements[f"{phase}_{mode}"] = cell
+                    reports[f"{phase}_{mode}"] = battery.report()
+            finally:
+                shutil.rmtree(cache_dir, ignore_errors=True)
     _reset_process_caches()
 
     def wall(name: str) -> float:

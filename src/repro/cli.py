@@ -5,6 +5,8 @@ Usage::
     repro-audit list
     repro-audit run fig7 table2 --scale 0.1
     repro-audit run everything --scale 0.25 --jobs 4 --out experiments.txt
+    repro-audit run fig7 --scale 0.1 --trace --trace-out obs_metrics.json
+    repro-audit obs obs_metrics.json
     repro-audit bench --scale 0.2 --jobs 4 --out BENCH_runner.json
     repro-audit dataset C --scale 0.1 --out dataset_c.json.gz
     repro-audit faults --scale 0.05 --loss 0 0.05 0.5 --downtime 0 0.25
@@ -63,7 +65,32 @@ def _build_parser() -> argparse.ArgumentParser:
         help="worker processes; experiments fan out over a pool when >1 "
         "(the report stays byte-identical to a sequential run)",
     )
+    run_parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="enable repro.obs tracing: record substrate metrics/spans "
+        "(mempool, engine, GBT, runner, cache) and export them as JSON; "
+        "the experiment report itself is byte-identical to an untraced run",
+    )
+    run_parser.add_argument(
+        "--trace-out",
+        type=str,
+        default="obs_metrics.json",
+        help="where --trace writes the metrics snapshot "
+        "(default obs_metrics.json; render it with 'repro-audit obs')",
+    )
     _add_cache_arguments(run_parser)
+
+    obs_parser = sub.add_parser(
+        "obs",
+        help="render a metrics/span report from a --trace export",
+        description=(
+            "Render the counters, gauges, and span timings recorded by "
+            "'repro-audit run --trace' (an obs_metrics.json file) as a "
+            "readable report."
+        ),
+    )
+    obs_parser.add_argument("path", help="metrics JSON written by run --trace")
 
     bench_parser = sub.add_parser(
         "bench",
@@ -207,9 +234,19 @@ def _run_command(args: argparse.Namespace) -> int:
     if ids is None:
         return 2
     cache_dir = None if args.no_cache else args.cache_dir
-    battery = run_battery(
-        ids, scale=args.scale, jobs=args.jobs, cache_dir=cache_dir
-    )
+    if args.trace:
+        from . import obs
+
+        with obs.tracing(reset=True):
+            battery = run_battery(
+                ids, scale=args.scale, jobs=args.jobs, cache_dir=cache_dir
+            )
+            trace_snapshot = obs.snapshot()
+    else:
+        battery = run_battery(
+            ids, scale=args.scale, jobs=args.jobs, cache_dir=cache_dir
+        )
+        trace_snapshot = None
     report = battery.report()
     print(report)
     if args.out:
@@ -219,6 +256,16 @@ def _run_command(args: argparse.Namespace) -> int:
     print("\n" + battery.timing_table())
     if cache_dir is not None:
         print(f"dataset cache [{cache_dir}]: {battery.cache_stats().summary()}")
+    if trace_snapshot is not None:
+        with open(args.trace_out, "w", encoding="utf-8") as handle:
+            json.dump(trace_snapshot, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(
+            f"trace metrics written to {args.trace_out} "
+            f"({len(trace_snapshot['counters'])} counters, "
+            f"{len(trace_snapshot['spans'])} spans); "
+            f"render with: repro-audit obs {args.trace_out}"
+        )
     raised = battery.failed()
     if raised:
         print(
@@ -268,6 +315,25 @@ def _bench_command(args: argparse.Namespace) -> int:
     print(text)
     print(f"\nbenchmark written to {args.out}")
     return exit_code
+
+
+def _obs_command(args: argparse.Namespace) -> int:
+    from .obs import render_report
+
+    try:
+        with open(args.path, "r", encoding="utf-8") as handle:
+            snap = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read metrics from {args.path}: {exc}", file=sys.stderr)
+        return 2
+    if not isinstance(snap, dict) or "counters" not in snap:
+        print(
+            f"error: {args.path} is not a repro.obs metrics snapshot",
+            file=sys.stderr,
+        )
+        return 2
+    print(render_report(snap))
+    return 0
 
 
 def _dataset_command(args: argparse.Namespace) -> int:
@@ -334,6 +400,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_command(args)
     if args.command == "bench":
         return _bench_command(args)
+    if args.command == "obs":
+        return _obs_command(args)
     if args.command == "dataset":
         return _dataset_command(args)
     if args.command == "faults":

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Optional, Union
 
+from .. import obs
 from .dataset import Dataset
 from .io import FORMAT_VERSION, DatasetCorruptionError, load_dataset, save_dataset
 
@@ -148,6 +149,7 @@ class DatasetCache:
         except DatasetCorruptionError:
             # A corrupt entry is a miss, not an error: evict and rebuild.
             self.stats.evictions += 1
+            obs.counter("cache.evictions")
             try:
                 path.unlink()
             except OSError:
@@ -159,8 +161,10 @@ class DatasetCache:
         dataset = self._load(self.path_for(key))
         if dataset is None:
             self.stats.misses += 1
+            obs.counter("cache.misses")
         else:
             self.stats.hits += 1
+            obs.counter("cache.hits")
         return dataset
 
     def store(self, key: CacheKey, dataset: Dataset) -> Path:
@@ -183,8 +187,10 @@ class DatasetCache:
         dataset = self._load(path)
         if dataset is not None:
             self.stats.hits += 1
+            obs.counter("cache.hits")
             return dataset
         self.stats.misses += 1
+        obs.counter("cache.misses")
         self.directory.mkdir(parents=True, exist_ok=True)
         lock = path.with_name(path.name + ".lock")
         deadline = time.monotonic() + self.lock_timeout
@@ -196,11 +202,15 @@ class DatasetCache:
                 if waited is not None:
                     self.stats.lock_waits += 1
                     self.stats.hits += 1
+                    obs.counter("cache.lock_waits")
+                    obs.counter("cache.hits")
                     return waited
                 if time.monotonic() >= deadline:
                     # Lock holder is stuck; build locally without it.
                     self.stats.builds += 1
-                    dataset = build()
+                    obs.counter("cache.builds")
+                    with obs.span("cache.build"):
+                        dataset = build()
                     self.store(key, dataset)
                     return dataset
                 continue  # lock vanished without an artifact: re-elect
@@ -214,9 +224,12 @@ class DatasetCache:
                 dataset = self._load(path)
                 if dataset is not None:
                     self.stats.hits += 1
+                    obs.counter("cache.hits")
                     return dataset
                 self.stats.builds += 1
-                dataset = build()
+                obs.counter("cache.builds")
+                with obs.span("cache.build"):
+                    dataset = build()
                 self.store(key, dataset)
                 return dataset
             finally:

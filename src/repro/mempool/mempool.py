@@ -14,8 +14,10 @@ import itertools
 from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Optional
 
+from .. import obs
 from ..chain.constants import DEFAULT_MIN_RELAY_FEE_RATE
 from ..chain.transaction import Transaction
+from ..obs.invariants import InvariantViolation, invariants_enabled
 
 
 @dataclass(frozen=True)
@@ -103,6 +105,8 @@ class Mempool:
         self._rejections: dict[str, int] = {}
         # Outpoint -> spending txid, for conflict (double-spend) detection.
         self._spenders: dict[object, str] = {}
+        # Mutations since the last (throttled) invariant check.
+        self._ops_since_check = 0
 
     # ------------------------------------------------------------------
     # Admission / removal
@@ -132,48 +136,73 @@ class Mempool:
         strictly more total fee and a strictly higher fee-rate than
         what it displaces — in which case the conflicts are evicted and
         reported in the result.
+
+        Admission is atomic: conflict evictions and size-cap evictions
+        are *planned* first and applied only once acceptance is certain,
+        so a rejected offer (e.g. ``MEMPOOL_FULL``) leaves the pool —
+        including the would-be-displaced transactions — untouched.
         """
-        if tx.txid in self._entries:
-            return self._reject(RejectionReason.ALREADY_PRESENT)
-        if tx.fee_rate < self.min_fee_rate:
-            return self._reject(RejectionReason.BELOW_MIN_FEE_RATE)
-        conflicts = self.conflicts_of(tx)
-        replaced: tuple[str, ...] = ()
-        if conflicts:
-            if not self._rbf_acceptable(tx, conflicts):
+        try:
+            if tx.txid in self._entries:
+                return self._reject(RejectionReason.ALREADY_PRESENT)
+            if tx.fee_rate < self.min_fee_rate:
+                return self._reject(RejectionReason.BELOW_MIN_FEE_RATE)
+            conflicts = self.conflicts_of(tx)
+            if conflicts and not self._rbf_acceptable(tx, conflicts):
                 return self._reject(RejectionReason.INSUFFICIENT_REPLACEMENT)
-            for conflict in conflicts:
-                self.remove(conflict)
-            replaced = tuple(conflicts)
-        evicted = self._make_room(tx)
-        if evicted is None:
-            return self._reject(RejectionReason.MEMPOOL_FULL)
-        entry = MempoolEntry(tx=tx, arrival_time=now)
-        self._entries[tx.txid] = entry
-        self._total_vsize += tx.vsize
-        self._total_fees += tx.fee
-        for txin in tx.inputs:
-            self._spenders[txin.prevout] = tx.txid
-        heapq.heappush(self._heap, (-tx.fee_rate, next(self._seq), tx.txid))
-        return AdmissionResult(
-            accepted=True, replaced=replaced + tuple(evicted)
-        )
+            evicted = self._plan_evictions(tx, exclude=frozenset(conflicts))
+            if evicted is None:
+                return self._reject(RejectionReason.MEMPOOL_FULL)
+            # Acceptance is certain: commit the staged removals.
+            for txid in conflicts:
+                self.remove(txid)
+            for txid in evicted:
+                self.remove(txid)
+            entry = MempoolEntry(tx=tx, arrival_time=now)
+            self._entries[tx.txid] = entry
+            self._total_vsize += tx.vsize
+            self._total_fees += tx.fee
+            for txin in tx.inputs:
+                self._spenders[txin.prevout] = tx.txid
+            heapq.heappush(self._heap, (-tx.fee_rate, next(self._seq), tx.txid))
+            obs.counter("mempool.offer.accepted")
+            if conflicts:
+                obs.counter("mempool.rbf_replacements", len(conflicts))
+            if evicted:
+                obs.counter("mempool.evictions", len(evicted))
+            obs.gauge_max("mempool.peak_vsize", self._total_vsize)
+            return AdmissionResult(
+                accepted=True, replaced=tuple(conflicts) + tuple(evicted)
+            )
+        finally:
+            self._maybe_check_invariants()
 
-    def _make_room(self, tx: Transaction) -> Optional[list[str]]:
-        """Evict the cheapest entries until ``tx`` fits; None = rejected.
+    def _plan_evictions(
+        self, tx: Transaction, exclude: frozenset[str] = frozenset()
+    ) -> Optional[list[str]]:
+        """Cheapest-first eviction plan admitting ``tx``; None = bounce.
 
-        The incoming transaction must out-pay everything it displaces;
-        a transaction cheaper than the current eviction floor bounces,
+        Pure planner: nothing is removed here.  ``exclude`` holds RBF
+        conflicts already destined for eviction — their vsize counts as
+        freed, and they are not eviction candidates themselves.  The
+        incoming transaction must *strictly* out-pay everything the plan
+        displaces; a transaction at or below the eviction floor bounces,
         as in Bitcoin Core's full-mempool behaviour.
         """
-        if self.max_vsize is None or self._total_vsize + tx.vsize <= self.max_vsize:
+        if self.max_vsize is None:
+            return []
+        freed_by_conflicts = sum(self._entries[t].vsize for t in exclude)
+        needed = (
+            self._total_vsize - freed_by_conflicts + tx.vsize - self.max_vsize
+        )
+        if needed <= 0:
             return []
         cheapest_first = sorted(
-            self._entries.values(), key=lambda e: (e.fee_rate, -e.arrival_time)
+            (e for e in self._entries.values() if e.txid not in exclude),
+            key=lambda e: (e.fee_rate, -e.arrival_time),
         )
         evicted: list[str] = []
         freed = 0
-        needed = self._total_vsize + tx.vsize - self.max_vsize
         for entry in cheapest_first:
             if freed >= needed:
                 break
@@ -183,12 +212,11 @@ class Mempool:
             freed += entry.vsize
         if freed < needed:
             return None
-        for txid in evicted:
-            self.remove(txid)
         return evicted
 
     def _reject(self, reason: str) -> AdmissionResult:
         self._rejections[reason] = self._rejections.get(reason, 0) + 1
+        obs.counter(f"mempool.offer.rejected.{reason}")
         return AdmissionResult(accepted=False, reason=reason)
 
     def remove(self, txid: str) -> Optional[MempoolEntry]:
@@ -204,6 +232,8 @@ class Mempool:
             for txin in entry.tx.inputs:
                 if self._spenders.get(txin.prevout) == txid:
                     del self._spenders[txin.prevout]
+            obs.counter("mempool.removed")
+            self._maybe_check_invariants()
         return entry
 
     def remove_confirmed(self, txids: Iterable[str]) -> int:
@@ -212,6 +242,8 @@ class Mempool:
         for txid in txids:
             if self.remove(txid) is not None:
                 removed += 1
+        if removed:
+            obs.counter("mempool.confirmed_removed", removed)
         return removed
 
     def clear(self) -> int:
@@ -227,14 +259,25 @@ class Mempool:
         self._total_fees = 0
         self._heap.clear()
         self._spenders.clear()
+        if dropped:
+            obs.counter("mempool.cleared", dropped)
+        self._maybe_check_invariants()
         return dropped
 
     def expire(self, now: float) -> list[MempoolEntry]:
-        """Evict entries older than ``expiry_seconds``; return them."""
+        """Evict entries *strictly* older than ``expiry_seconds``.
+
+        An entry exactly at the cutoff (age == ``expiry_seconds``)
+        survives, matching Bitcoin Core's ``Expire`` (strict ``<`` on
+        the entry time); returns the evicted entries.
+        """
         cutoff = now - self.expiry_seconds
         stale = [e for e in self._entries.values() if e.arrival_time < cutoff]
         for entry in stale:
             self.remove(entry.txid)
+        if stale:
+            obs.counter("mempool.expired", len(stale))
+        self._maybe_check_invariants()
         return stale
 
     # ------------------------------------------------------------------
@@ -286,13 +329,125 @@ class Mempool:
         return ordered
 
     def iter_best(self) -> Iterator[MempoolEntry]:
-        """Yield entries from best fee-rate down, destructively popping."""
-        while self._heap:
-            _, _, txid = heapq.heappop(self._heap)
+        """Yield entries from best fee-rate down, without consuming them.
+
+        Iteration works on a snapshot of the heap, so the pool (and the
+        shared ``_heap`` that later ``offer``/``remove`` calls rely on)
+        is left intact and a second call yields the same sequence.  As
+        a side effect the first advance compacts stale heap residue
+        (items whose entry has since been removed) out of the live
+        heap.  Entries removed *mid-iteration* are skipped; a txid is
+        yielded at most once even if re-admission left duplicate heap
+        items behind.
+        """
+        live = [item for item in self._heap if item[2] in self._entries]
+        if len(live) != len(self._heap):
+            # Compact: filtering broke the heap shape, so re-heapify a
+            # copy for the pool and one for this iteration.
+            compacted = list(live)
+            heapq.heapify(compacted)
+            self._heap = compacted
+        heapq.heapify(live)
+        seen: set[str] = set()
+        while live:
+            _, _, txid = heapq.heappop(live)
+            if txid in seen:
+                continue
             entry = self._entries.get(txid)
             if entry is not None:
+                seen.add(txid)
                 yield entry
 
     def filter(self, predicate: Callable[[MempoolEntry], bool]) -> list[MempoolEntry]:
         """Entries satisfying ``predicate``."""
         return [entry for entry in self._entries.values() if predicate(entry)]
+
+    # ------------------------------------------------------------------
+    # Invariant contract
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Verify bookkeeping against recomputed ground truth.
+
+        The contract:
+
+        * ``total_vsize``/``total_fees`` incremental counters equal the
+          sums recomputed over the live entries;
+        * the pool respects ``max_vsize`` and no entry sits below
+          ``min_fee_rate``;
+        * the conflict index (``_spenders``) maps exactly the outpoints
+          spent by live entries, each to its unique spender;
+        * every live entry is reachable through the fee-rate heap.
+
+        O(n); raises :class:`InvariantViolation` on the first breach.
+        The mempool calls this itself after mutations (throttled on
+        large pools) whenever ``REPRO_AUDIT_CHECK=1`` — the test suite
+        keeps it always-on via a conftest fixture.
+        """
+        entries = self._entries
+        vsize = sum(e.vsize for e in entries.values())
+        if vsize != self._total_vsize:
+            raise InvariantViolation(
+                f"total_vsize drifted: counter={self._total_vsize} "
+                f"recomputed={vsize}"
+            )
+        fees = sum(e.tx.fee for e in entries.values())
+        if fees != self._total_fees:
+            raise InvariantViolation(
+                f"total_fees drifted: counter={self._total_fees} "
+                f"recomputed={fees}"
+            )
+        if self.max_vsize is not None and vsize > self.max_vsize:
+            raise InvariantViolation(
+                f"pool over max_vsize: {vsize} > {self.max_vsize}"
+            )
+        expected_spenders: dict[object, str] = {}
+        for txid, entry in entries.items():
+            if entry.txid != txid:
+                raise InvariantViolation(
+                    f"entry keyed {txid} holds tx {entry.txid}"
+                )
+            if entry.fee_rate < self.min_fee_rate:
+                raise InvariantViolation(
+                    f"entry {txid} below min_fee_rate: "
+                    f"{entry.fee_rate} < {self.min_fee_rate}"
+                )
+            for txin in entry.tx.inputs:
+                other = expected_spenders.get(txin.prevout)
+                if other is not None:
+                    raise InvariantViolation(
+                        f"entries {other} and {txid} both spend "
+                        f"{txin.prevout!r}"
+                    )
+                expected_spenders[txin.prevout] = txid
+        if expected_spenders != self._spenders:
+            missing = expected_spenders.keys() - self._spenders.keys()
+            extra = self._spenders.keys() - expected_spenders.keys()
+            raise InvariantViolation(
+                "conflict index diverges from entries: "
+                f"{len(missing)} outpoint(s) unindexed, "
+                f"{len(extra)} stale; first unindexed: "
+                f"{next(iter(missing), None)!r}, first stale: "
+                f"{next(iter(extra), None)!r}"
+            )
+        heap_txids = {item[2] for item in self._heap}
+        unreachable = entries.keys() - heap_txids
+        if unreachable:
+            raise InvariantViolation(
+                f"{len(unreachable)} live entr(y/ies) missing from the "
+                f"fee-rate heap (e.g. {sorted(unreachable)[:3]})"
+            )
+
+    def _maybe_check_invariants(self) -> None:
+        """Self-check after a mutation when ``REPRO_AUDIT_CHECK=1``.
+
+        The full check is O(n), so on pools past a few hundred entries
+        it runs every 64th mutation instead of every one — enabling
+        checks must not turn long simulations quadratic.
+        """
+        if not invariants_enabled():
+            return
+        self._ops_since_check += 1
+        if len(self._entries) > 256 and self._ops_since_check < 64:
+            return
+        self._ops_since_check = 0
+        self.check_invariants()

@@ -21,6 +21,7 @@ import heapq
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
+from .. import obs
 from ..chain.constants import MAX_BLOCK_VSIZE
 from ..chain.transaction import Transaction
 from ..mempool.mempool import MempoolEntry
@@ -59,17 +60,20 @@ def greedy_feerate_template(
 
     ``reserved_vsize`` accounts for the coinbase.
     """
-    budget = max_vsize - reserved_vsize
-    chosen: list[Transaction] = []
-    used = 0
-    fee = 0
-    for entry in sorted(entries, key=_fee_rate_key):
-        if used + entry.vsize > budget:
-            continue
-        chosen.append(entry.tx)
-        used += entry.vsize
-        fee += entry.tx.fee
-    return BlockTemplate(tuple(chosen), total_fee=fee, total_vsize=used)
+    with obs.span("gbt.greedy_template"):
+        budget = max_vsize - reserved_vsize
+        chosen: list[Transaction] = []
+        used = 0
+        fee = 0
+        for entry in sorted(entries, key=_fee_rate_key):
+            if used + entry.vsize > budget:
+                continue
+            chosen.append(entry.tx)
+            used += entry.vsize
+            fee += entry.tx.fee
+        obs.counter("gbt.templates.greedy")
+        obs.counter("gbt.txs.selected", len(chosen))
+        return BlockTemplate(tuple(chosen), total_fee=fee, total_vsize=used)
 
 
 def ancestor_package_template(
@@ -86,6 +90,18 @@ def ancestor_package_template(
     changed since scoring is re-scored and pushed back, the standard
     "lazy update" trick that keeps the loop near O(n log n).
     """
+    with obs.span("gbt.ancestor_template"):
+        template = _ancestor_package_template(entries, max_vsize, reserved_vsize)
+    obs.counter("gbt.templates.ancestor")
+    obs.counter("gbt.txs.selected", len(template.transactions))
+    return template
+
+
+def _ancestor_package_template(
+    entries: Sequence[MempoolEntry],
+    max_vsize: int,
+    reserved_vsize: int,
+) -> BlockTemplate:
     budget = max_vsize - reserved_vsize
     by_txid = {entry.txid: entry for entry in entries}
 
@@ -164,6 +180,7 @@ def ancestor_package_template(
         if -neg_rate - current_rate > 1e-12:
             # Stale score (an ancestor got selected via another package);
             # re-queue at the fresh, higher rate.
+            obs.counter("gbt.packages.rescored")
             heapq.heappush(heap, (-current_rate, arrival, txid))
             continue
         if used + pkg_vsize > budget:

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence, Tuple
 
+from .. import obs
 from ..chain.block import Block
 from ..chain.constants import DEFAULT_MIN_RELAY_FEE_RATE
 from ..chain.transaction import Transaction
@@ -90,6 +91,7 @@ class FullNode:
             self._seen_txids.clear()
             self._seen_blocks.clear()
             self.crash_count += 1
+            obs.counter("node.crashes")
 
     @property
     def name(self) -> str:
@@ -134,6 +136,9 @@ class FullNode:
         result = self.mempool.offer(tx, now)
         if result.accepted:
             self.arrival_log.setdefault(tx.txid, now)
+            obs.counter("node.tx.accepted")
+        else:
+            obs.counter("node.tx.rejected")
         return result.accepted
 
     def accept_block(self, block: Block, now: float) -> bool:
@@ -145,6 +150,7 @@ class FullNode:
             return False
         self._seen_blocks.add(block.block_hash)
         self.blocks_seen += 1
+        obs.counter("node.blocks.accepted")
         self.mempool.remove_confirmed(tx.txid for tx in block.transactions)
         return True
 
@@ -164,6 +170,7 @@ class FullNode:
         if not self._recorder.due(now):
             return False
         self._recorder.capture(self.mempool, now)
+        obs.counter("node.snapshots.recorded")
         return True
 
     def snapshot_store(self) -> SnapshotStore:

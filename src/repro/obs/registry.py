@@ -1,0 +1,238 @@
+"""Process-local metrics: counters, gauges, and timed spans.
+
+The audit pipeline's trustworthiness rests on the fidelity of the
+mempool/engine substrate (§4.2 consumes exactly what it emits: arrival
+times, fee-rates, commit positions), so the hot paths are threaded with
+lightweight instrumentation.  Everything here is zero-dependency and
+process-local; tracing is *off* by default and every recording call is
+a near-free early return until it is switched on via
+``REPRO_AUDIT_TRACE=1``, :func:`enable`, or the ``repro-audit run
+--trace`` flag.
+
+Three instrument kinds:
+
+* **counters** — monotone event tallies (``obs.counter("mempool.rbf_replacements")``);
+* **gauges** — last-seen values; cross-process merges keep the maximum,
+  so peak-style gauges survive aggregation;
+* **spans** — ``with obs.span("engine.mine_block"):`` blocks folded into
+  (count, total seconds, max seconds) per name.
+
+A registry exports a JSON-ready :func:`snapshot`; :func:`delta` diffs
+two snapshots (how a parallel worker reports its contribution) and
+:func:`merge` folds a snapshot back into a live registry (how the
+battery runner aggregates worker contributions).  :func:`render_report`
+turns a snapshot into the text table behind ``repro-audit obs``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Optional
+
+#: Environment switch: set to 1 to start processes with tracing on.
+TRACE_ENV = "REPRO_AUDIT_TRACE"
+
+SNAPSHOT_VERSION = 1
+
+
+class _NullSpan:
+    """Shared no-op context manager handed out while tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """Times one ``with`` block and folds it into its registry."""
+
+    __slots__ = ("_registry", "_name", "_start")
+
+    def __init__(self, registry: "ObsRegistry", name: str) -> None:
+        self._registry = registry
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self._registry._observe_span(
+            self._name, time.perf_counter() - self._start
+        )
+        return False
+
+
+class ObsRegistry:
+    """Mutable store of counters, gauges, and span statistics."""
+
+    def __init__(self, enabled: Optional[bool] = None) -> None:
+        if enabled is None:
+            enabled = os.environ.get(TRACE_ENV, "") not in ("", "0")
+        self.enabled = bool(enabled)
+        self._counters: dict[str, int] = {}
+        self._gauges: dict[str, float] = {}
+        # name -> [count, total_seconds, max_seconds]
+        self._spans: dict[str, list] = {}
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def counter(self, name: str, value: int = 1) -> None:
+        if not self.enabled:
+            return
+        self._counters[name] = self._counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        if not self.enabled:
+            return
+        self._gauges[name] = float(value)
+
+    def gauge_max(self, name: str, value: float) -> None:
+        """Set ``name`` to ``value`` only if it exceeds the current value."""
+        if not self.enabled:
+            return
+        current = self._gauges.get(name)
+        if current is None or value > current:
+            self._gauges[name] = float(value)
+
+    def span(self, name: str):
+        if not self.enabled:
+            return _NULL_SPAN
+        return _Span(self, name)
+
+    def _observe_span(self, name: str, seconds: float) -> None:
+        stats = self._spans.get(name)
+        if stats is None:
+            self._spans[name] = [1, seconds, seconds]
+        else:
+            stats[0] += 1
+            stats[1] += seconds
+            if seconds > stats[2]:
+                stats[2] = seconds
+
+    # ------------------------------------------------------------------
+    # Export / aggregation
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-ready view of everything recorded so far."""
+        return {
+            "version": SNAPSHOT_VERSION,
+            "counters": dict(sorted(self._counters.items())),
+            "gauges": dict(sorted(self._gauges.items())),
+            "spans": {
+                name: {
+                    "count": stats[0],
+                    "total_seconds": stats[1],
+                    "max_seconds": stats[2],
+                }
+                for name, stats in sorted(self._spans.items())
+            },
+        }
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._spans.clear()
+
+    def merge(self, snap: dict) -> None:
+        """Fold a snapshot (e.g. from a worker process) into this registry.
+
+        Counters and span counts/totals add; gauges and span maxima keep
+        the larger value.
+        """
+        for name, value in snap.get("counters", {}).items():
+            self._counters[name] = self._counters.get(name, 0) + int(value)
+        for name, value in snap.get("gauges", {}).items():
+            current = self._gauges.get(name)
+            if current is None or float(value) > current:
+                self._gauges[name] = float(value)
+        for name, payload in snap.get("spans", {}).items():
+            stats = self._spans.get(name)
+            if stats is None:
+                self._spans[name] = [
+                    int(payload["count"]),
+                    float(payload["total_seconds"]),
+                    float(payload["max_seconds"]),
+                ]
+            else:
+                stats[0] += int(payload["count"])
+                stats[1] += float(payload["total_seconds"])
+                if float(payload["max_seconds"]) > stats[2]:
+                    stats[2] = float(payload["max_seconds"])
+
+
+def delta(before: dict, after: dict) -> dict:
+    """What was recorded between two snapshots of the same registry.
+
+    Counters and span counts/totals subtract; gauges and span maxima
+    report the ``after`` value (a maximum cannot be un-observed).
+    Zero-delta names are dropped.
+    """
+    counters = {
+        name: value - before.get("counters", {}).get(name, 0)
+        for name, value in after.get("counters", {}).items()
+    }
+    spans = {}
+    for name, payload in after.get("spans", {}).items():
+        prior = before.get("spans", {}).get(
+            name, {"count": 0, "total_seconds": 0.0}
+        )
+        count = payload["count"] - prior["count"]
+        if count <= 0:
+            continue
+        spans[name] = {
+            "count": count,
+            "total_seconds": payload["total_seconds"] - prior["total_seconds"],
+            "max_seconds": payload["max_seconds"],
+        }
+    return {
+        "version": SNAPSHOT_VERSION,
+        "counters": {k: v for k, v in counters.items() if v},
+        "gauges": dict(after.get("gauges", {})),
+        "spans": spans,
+    }
+
+
+def render_report(snap: dict) -> str:
+    """The human-readable metrics/span table behind ``repro-audit obs``."""
+    lines = ["repro.obs report", "================"]
+    counters = snap.get("counters", {})
+    lines.append(f"counters ({len(counters)}):")
+    if counters:
+        width = max(len(name) for name in counters)
+        for name in sorted(counters):
+            lines.append(f"  {name:<{width}}  {counters[name]:>12}")
+    gauges = snap.get("gauges", {})
+    lines.append(f"gauges ({len(gauges)}):")
+    if gauges:
+        width = max(len(name) for name in gauges)
+        for name in sorted(gauges):
+            lines.append(f"  {name:<{width}}  {gauges[name]:>14g}")
+    spans = snap.get("spans", {})
+    lines.append(f"spans ({len(spans)}):")
+    if spans:
+        width = max(len(name) for name in spans)
+        lines.append(
+            f"  {'name':<{width}}  {'count':>9}  {'total_s':>10}  "
+            f"{'mean_ms':>9}  {'max_ms':>9}"
+        )
+        for name in sorted(spans):
+            payload = spans[name]
+            count = payload["count"]
+            total = payload["total_seconds"]
+            mean_ms = 1000.0 * total / count if count else 0.0
+            lines.append(
+                f"  {name:<{width}}  {count:>9}  {total:>10.3f}  "
+                f"{mean_ms:>9.3f}  {1000.0 * payload['max_seconds']:>9.3f}"
+            )
+    return "\n".join(lines)

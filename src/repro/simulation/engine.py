@@ -29,6 +29,7 @@ from typing import TYPE_CHECKING, Optional, Sequence
 
 import numpy as np
 
+from .. import obs
 from ..chain.attribution import PoolAttributor
 from ..chain.blockchain import Blockchain
 from ..chain.constants import (
@@ -48,6 +49,11 @@ from ..mempool.snapshots import (
 )
 from ..mining.acceleration import AccelerationService
 from ..mining.pool import MiningPool, make_directory, normalize_hash_shares
+from ..obs.invariants import (
+    InvariantViolation,
+    check_engine_block_state,
+    invariants_enabled,
+)
 from .rng import RngStreams
 from .workload import PlannedTx
 
@@ -222,6 +228,14 @@ class SimulationEngine:
         checkpoint at ``checkpoint.path`` resumes the run mid-schedule,
         reproducing the uninterrupted run exactly.
         """
+        with obs.span("engine.run"):
+            return self._run(plan, checkpoint)
+
+    def _run(
+        self,
+        plan: Sequence[PlannedTx],
+        checkpoint: Optional["CheckpointConfig"] = None,
+    ) -> SimulationResult:
         plan = sorted(plan, key=lambda p: (p.broadcast_time, p.tx.txid))
         count = len(plan)
         pool_delays = self._pool_delays(count)
@@ -286,6 +300,7 @@ class SimulationEngine:
         def admit(planned: PlannedTx, index: int) -> None:
             tx = planned.tx
             if any(txin.prevout in committed_outpoints for txin in tx.inputs):
+                obs.counter("mempool.pending.chain_conflict")
                 return  # conflicts with the chain: the original won
             displaced = {
                 pending_spenders[txin.prevout]
@@ -296,9 +311,13 @@ class SimulationEngine:
             for loser in displaced:
                 loser_tx = plan[pending[loser]].tx
                 if tx.fee <= loser_tx.fee:
+                    obs.counter("mempool.pending.rbf_rejected")
                     return  # not a valid fee bump: keep the incumbent
+            if displaced:
+                obs.counter("mempool.rbf_replacements", len(displaced))
             for loser in displaced:
                 evict(loser)
+            obs.counter("mempool.pending.admitted")
             pending[tx.txid] = index
             for txin in tx.inputs:
                 pending_spenders[txin.prevout] = tx.txid
@@ -342,23 +361,26 @@ class SimulationEngine:
                 plan_index += 1
 
             winner = self.pools[winner_index]
-            if mining_rng.random() < self.config.empty_block_probability:
-                entries: list[MempoolEntry] = []
-            else:
-                entries = self._eligible_entries(
-                    pending, plan, pool_arrivals, winner_index, block_time
+            with obs.span("engine.mine_block"):
+                if mining_rng.random() < self.config.empty_block_probability:
+                    entries: list[MempoolEntry] = []
+                    obs.counter("engine.blocks.empty")
+                else:
+                    entries = self._eligible_entries(
+                        pending, plan, pool_arrivals, winner_index, block_time
+                    )
+                block = winner.assemble_block(
+                    height=len(chain),
+                    prev_hash=chain.tip_hash,
+                    timestamp=block_time,
+                    entries=entries,
                 )
-            block = winner.assemble_block(
-                height=len(chain),
-                prev_hash=chain.tip_hash,
-                timestamp=block_time,
-                entries=entries,
-            )
             if stale_mask is not None and stale_mask[index]:
                 # Stale/reorged: the block lost the propagation race and
                 # is never committed; its transactions stay pending and
                 # re-enter the next winner's candidate set.
                 orphaned += 1
+                obs.counter("engine.blocks.orphaned")
             else:
                 chain.append(block)
                 for position, tx in enumerate(block.transactions):
@@ -368,6 +390,12 @@ class SimulationEngine:
                         committed_outpoints.add(txin.prevout)
                         if pending_spenders.get(txin.prevout) == tx.txid:
                             del pending_spenders[txin.prevout]
+                obs.counter("engine.blocks.committed")
+                obs.counter("engine.txs.committed", len(block.transactions))
+                if invariants_enabled():
+                    check_engine_block_state(
+                        pending, pending_spenders, committed, block
+                    )
 
             processed += 1
             if checkpoint is not None:
@@ -556,6 +584,20 @@ class SimulationEngine:
     # Dataset curation
     # ------------------------------------------------------------------
     def _curate(
+        self,
+        plan: Sequence[PlannedTx],
+        broadcast_times: np.ndarray,
+        observer_delays: dict[str, np.ndarray],
+        committed: dict[str, tuple[int, int, float]],
+        chain: Blockchain,
+        orphaned: int = 0,
+    ) -> SimulationResult:
+        with obs.span("engine.curate"):
+            return self._curate_all(
+                plan, broadcast_times, observer_delays, committed, chain, orphaned
+            )
+
+    def _curate_all(
         self,
         plan: Sequence[PlannedTx],
         broadcast_times: np.ndarray,
@@ -756,7 +798,21 @@ class SimulationEngine:
                     )
                     for index in sorted(live)
                 )
+                if invariants_enabled():
+                    # The incremental sweep totals must match the
+                    # materialised snapshot — drift here skews every
+                    # congestion bin downstream.
+                    recomputed = sum(t.vsize for t in txs)
+                    if recomputed != total_vsize or len(txs) != len(live):
+                        raise InvariantViolation(
+                            f"snapshot at t={float(tick):g} diverges from "
+                            f"sweep totals: vsize {recomputed} vs "
+                            f"{total_vsize}, count {len(txs)} vs {len(live)}"
+                        )
                 snapshots.append(MempoolSnapshot(time=float(tick), txs=txs))
+        if snapshots:
+            obs.counter("engine.snapshots.recorded", len(snapshots))
+        obs.gauge_max("engine.peak_pending_vsize", max(sizes, default=0))
         series = SizeSeries(times=times, vsizes=sizes, tx_counts=counts)
         return series, SnapshotStore(snapshots)
 

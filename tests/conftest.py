@@ -20,6 +20,22 @@ from repro.datasets.builder import (
 from repro.mempool.mempool import MempoolEntry
 
 
+@pytest.fixture(autouse=True, scope="session")
+def _always_check_invariants():
+    """Keep ``REPRO_AUDIT_CHECK`` invariant checking on for every test.
+
+    The mempool/engine state machines self-verify after mutations, so
+    any test exercising them doubles as an invariant test — a
+    bookkeeping bug anywhere in the suite surfaces as an
+    ``InvariantViolation`` instead of a silently skewed audit.
+    """
+    from repro.obs import invariants
+
+    invariants.force(True)
+    yield
+    invariants.force(None)
+
+
 def pytest_addoption(parser):
     parser.addoption(
         "--regen-golden",

@@ -71,6 +71,96 @@ class TestRun:
         _reset_process_caches()
 
 
+class TestTrace:
+    def test_trace_writes_wellformed_metrics_json(self, tmp_path, capsys):
+        from repro.analysis.runner import _reset_process_caches
+
+        trace_file = tmp_path / "obs.json"
+        _reset_process_caches()
+        code = main(
+            [
+                "run", "fig5",
+                "--scale", "0.04",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--trace",
+                "--trace-out", str(trace_file),
+            ]
+        )
+        _reset_process_caches()
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "trace metrics written to" in out
+        snap = json.loads(trace_file.read_text())
+        assert snap["version"] == 1
+        counters = snap["counters"]
+        # The traced battery must cover every instrumented layer: the
+        # mempool state machine, the engine, GBT, the runner, and the
+        # dataset cache (cold build on a fresh --cache-dir).
+        for prefix in ("mempool.", "engine.", "gbt.", "runner.", "cache."):
+            assert any(name.startswith(prefix) for name in counters), prefix
+        assert counters["runner.experiments.ok"] == 1
+        assert counters["cache.builds"] == 1
+        assert snap["spans"]["engine.run"]["count"] >= 1
+        assert snap["spans"]["runner.experiment"]["total_seconds"] > 0
+
+    def test_traced_report_byte_identical_to_untraced(self, tmp_path, capsys):
+        from repro.analysis.runner import _reset_process_caches
+
+        cache = tmp_path / "cache"
+        plain_file = tmp_path / "plain.txt"
+        traced_file = tmp_path / "traced.txt"
+        common = ["fig1", "--scale", "0.04", "--cache-dir", str(cache)]
+        _reset_process_caches()
+        assert main(["run", *common, "--out", str(plain_file)]) == 0
+        _reset_process_caches()
+        assert (
+            main(
+                [
+                    "run", *common,
+                    "--out", str(traced_file),
+                    "--trace",
+                    "--trace-out", str(tmp_path / "obs.json"),
+                ]
+            )
+            == 0
+        )
+        _reset_process_caches()
+        capsys.readouterr()
+        assert traced_file.read_bytes() == plain_file.read_bytes()
+
+    def test_obs_renders_trace_file(self, tmp_path, capsys):
+        trace_file = tmp_path / "obs.json"
+        assert (
+            main(
+                [
+                    "run", "table5",
+                    "--scale", "0.04",
+                    "--no-cache",
+                    "--trace",
+                    "--trace-out", str(trace_file),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["obs", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "repro.obs report" in out
+        assert "runner.experiments.ok" in out
+
+    def test_obs_missing_file_exits_2(self, tmp_path, capsys):
+        code = main(["obs", str(tmp_path / "nope.json")])
+        assert code == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_obs_rejects_non_snapshot_json(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text('["not", "a", "snapshot"]')
+        code = main(["obs", str(bogus)])
+        assert code == 2
+        assert "not a repro.obs metrics snapshot" in capsys.readouterr().err
+
+
 class TestBench:
     def test_bench_writes_json_document(self, tmp_path, capsys):
         out_file = tmp_path / "bench.json"
@@ -95,6 +185,10 @@ class TestBench:
             assert cells[cell]["wall_seconds"] > 0
         assert cells["cold_sequential"]["cache"]["builds"] >= 1
         assert cells["warm_sequential"]["cache"]["builds"] == 0
+        # Bench always traces: every cell carries its obs metrics delta.
+        for cell in cells.values():
+            assert cell["obs"]["counters"]["runner.experiments.ok"] == 1
+        assert cells["cold_sequential"]["obs"]["counters"]["cache.builds"] == 1
         assert document["speedups"]["warm_over_cold_sequential"] > 0
         identical = document["reports_byte_identical"]
         assert identical["parallel_vs_sequential_warm"]

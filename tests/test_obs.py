@@ -1,0 +1,219 @@
+"""Unit tests for the repro.obs metrics registry and invariant gate."""
+
+import json
+import os
+
+import pytest
+
+from repro import obs
+from repro.obs import invariants
+from repro.obs.registry import (
+    TRACE_ENV,
+    ObsRegistry,
+    delta,
+    render_report,
+)
+
+
+@pytest.fixture
+def reg():
+    return ObsRegistry(enabled=True)
+
+
+class TestRecording:
+    def test_disabled_registry_records_nothing(self):
+        off = ObsRegistry(enabled=False)
+        off.counter("a")
+        off.gauge("b", 3.0)
+        off.gauge_max("c", 9.0)
+        with off.span("d"):
+            pass
+        snap = off.snapshot()
+        assert snap["counters"] == {}
+        assert snap["gauges"] == {}
+        assert snap["spans"] == {}
+
+    def test_disabled_span_is_shared_null_object(self):
+        off = ObsRegistry(enabled=False)
+        assert off.span("x") is off.span("y")
+
+    def test_counters_accumulate(self, reg):
+        reg.counter("events")
+        reg.counter("events")
+        reg.counter("events", 5)
+        assert reg.snapshot()["counters"] == {"events": 7}
+
+    def test_gauge_last_value_wins(self, reg):
+        reg.gauge("depth", 10.0)
+        reg.gauge("depth", 3.0)
+        assert reg.snapshot()["gauges"] == {"depth": 3.0}
+
+    def test_gauge_max_keeps_peak(self, reg):
+        reg.gauge_max("peak", 10.0)
+        reg.gauge_max("peak", 3.0)
+        reg.gauge_max("peak", 12.0)
+        assert reg.snapshot()["gauges"] == {"peak": 12.0}
+
+    def test_span_folds_count_total_max(self, reg):
+        for _ in range(3):
+            with reg.span("work"):
+                pass
+        stats = reg.snapshot()["spans"]["work"]
+        assert stats["count"] == 3
+        assert stats["total_seconds"] >= 0.0
+        assert stats["max_seconds"] <= stats["total_seconds"] + 1e-12
+
+    def test_span_records_even_when_block_raises(self, reg):
+        with pytest.raises(RuntimeError):
+            with reg.span("risky"):
+                raise RuntimeError("boom")
+        assert reg.snapshot()["spans"]["risky"]["count"] == 1
+
+    def test_reset_clears_everything(self, reg):
+        reg.counter("a")
+        reg.gauge("b", 1.0)
+        with reg.span("c"):
+            pass
+        reg.reset()
+        snap = reg.snapshot()
+        assert (snap["counters"], snap["gauges"], snap["spans"]) == ({}, {}, {})
+
+    def test_snapshot_is_json_serialisable_and_sorted(self, reg):
+        reg.counter("zebra")
+        reg.counter("apple")
+        snap = reg.snapshot()
+        json.dumps(snap)
+        assert list(snap["counters"]) == ["apple", "zebra"]
+        assert snap["version"] == 1
+
+
+class TestDeltaAndMerge:
+    def test_delta_subtracts_counters_and_span_counts(self, reg):
+        reg.counter("n", 3)
+        with reg.span("s"):
+            pass
+        before = reg.snapshot()
+        reg.counter("n", 2)
+        reg.counter("fresh")
+        with reg.span("s"):
+            pass
+        diff = delta(before, reg.snapshot())
+        assert diff["counters"] == {"n": 2, "fresh": 1}
+        assert diff["spans"]["s"]["count"] == 1
+
+    def test_delta_drops_zero_entries(self, reg):
+        reg.counter("quiet", 4)
+        before = reg.snapshot()
+        diff = delta(before, reg.snapshot())
+        assert diff["counters"] == {}
+        assert diff["spans"] == {}
+
+    def test_merge_adds_counters_and_keeps_gauge_max(self, reg):
+        reg.counter("n", 1)
+        reg.gauge_max("peak", 5.0)
+        worker = ObsRegistry(enabled=True)
+        worker.counter("n", 4)
+        worker.counter("only_worker", 2)
+        worker.gauge_max("peak", 3.0)
+        with worker.span("s"):
+            pass
+        reg.merge(worker.snapshot())
+        snap = reg.snapshot()
+        assert snap["counters"] == {"n": 5, "only_worker": 2}
+        assert snap["gauges"] == {"peak": 5.0}
+        assert snap["spans"]["s"]["count"] == 1
+
+    def test_merge_spans_add_counts_and_totals(self, reg):
+        with reg.span("s"):
+            pass
+        other = ObsRegistry(enabled=True)
+        with other.span("s"):
+            pass
+        with other.span("s"):
+            pass
+        reg.merge(other.snapshot())
+        assert reg.snapshot()["spans"]["s"]["count"] == 3
+
+    def test_worker_roundtrip_parent_plus_delta(self, reg):
+        """The runner protocol: worker snapshots before/after, parent
+        merges the delta — the parent total must equal doing the work
+        locally."""
+        local = ObsRegistry(enabled=True)
+        local.counter("x", 2)
+        worker = ObsRegistry(enabled=True)
+        worker.counter("x", 1)  # pre-existing worker state
+        before = worker.snapshot()
+        worker.counter("x", 3)  # the actual work
+        local.merge(delta(before, worker.snapshot()))
+        assert local.snapshot()["counters"]["x"] == 5
+
+
+class TestRenderReport:
+    def test_report_sections_and_values(self, reg):
+        reg.counter("mempool.offer.accepted", 42)
+        reg.gauge_max("mempool.peak_vsize", 123456.0)
+        with reg.span("engine.mine_block"):
+            pass
+        text = render_report(reg.snapshot())
+        assert "repro.obs report" in text
+        assert "counters (1):" in text
+        assert "mempool.offer.accepted" in text and "42" in text
+        assert "gauges (1):" in text
+        assert "spans (1):" in text
+        assert "mean_ms" in text
+
+    def test_empty_snapshot_renders(self):
+        text = render_report(ObsRegistry(enabled=True).snapshot())
+        assert "counters (0):" in text
+
+
+class TestModuleSingleton:
+    def test_tracing_context_restores_disabled_state(self):
+        assert not obs.is_enabled()
+        had_env = os.environ.get(TRACE_ENV)
+        with obs.tracing(reset=True):
+            assert obs.is_enabled()
+            assert os.environ.get(TRACE_ENV) == "1"
+            obs.counter("inside")
+            assert obs.snapshot()["counters"] == {"inside": 1}
+        assert not obs.is_enabled()
+        assert os.environ.get(TRACE_ENV) == had_env
+
+    def test_module_calls_noop_while_disabled(self):
+        obs.reset()
+        obs.counter("ignored")
+        obs.gauge("ignored", 1.0)
+        with obs.span("ignored"):
+            pass
+        assert obs.snapshot()["counters"] == {}
+
+    def test_merge_tolerates_none(self):
+        obs.merge(None)  # worker that was not tracing reports None
+
+
+class TestInvariantGate:
+    def test_force_wins_over_environment(self, monkeypatch):
+        monkeypatch.setenv(invariants.CHECK_ENV, "0")
+        invariants.force(True)
+        try:
+            assert invariants.invariants_enabled()
+            invariants.force(False)
+            monkeypatch.setenv(invariants.CHECK_ENV, "1")
+            assert not invariants.invariants_enabled()
+        finally:
+            invariants.force(True)  # conftest keeps checks on suite-wide
+
+    def test_env_gate(self, monkeypatch):
+        invariants.force(None)
+        try:
+            monkeypatch.delenv(invariants.CHECK_ENV, raising=False)
+            assert not invariants.invariants_enabled()
+            monkeypatch.setenv(invariants.CHECK_ENV, "1")
+            assert invariants.invariants_enabled()
+            monkeypatch.setenv(invariants.CHECK_ENV, "0")
+            assert not invariants.invariants_enabled()
+        finally:
+            invariants.force(True)
+
+    def test_violation_is_assertion_error(self):
+        assert issubclass(obs.InvariantViolation, AssertionError)

@@ -115,6 +115,42 @@ class TestWarmRunsSkipSimulation:
         assert warm.cache_stats().builds == 0
 
 
+class TestObsIntegration:
+    def test_untraced_outcome_carries_no_obs(self):
+        _fresh()
+        outcome = run_one("table5", SCALE)
+        assert outcome.obs is None
+
+    def test_traced_outcome_carries_metrics_delta(self):
+        from repro import obs
+
+        _fresh()
+        with obs.tracing(reset=True):
+            outcome = run_one("table5", SCALE)
+        assert outcome.obs is not None
+        assert outcome.obs["counters"]["runner.experiments.ok"] == 1
+        assert outcome.obs["spans"]["runner.experiment"]["count"] == 1
+
+    def test_parallel_battery_merges_worker_metrics(self, tmp_path):
+        """Workers trace in their own process; the parent must fold
+        their deltas back so the aggregate snapshot covers the engine
+        work the workers did."""
+        from repro import obs
+
+        _fresh()
+        with obs.tracing(reset=True):
+            # Fresh cache dir: fig5's dataset build (and so the
+            # simulation engine) must run inside a worker process.
+            battery = run_battery(
+                ["fig5", "table5"], scale=SCALE, jobs=2, cache_dir=tmp_path
+            )
+            snap = obs.snapshot()
+        assert battery.all_ok
+        assert snap["counters"]["runner.experiments.ok"] == 2
+        assert snap["counters"]["engine.blocks.committed"] > 0
+        assert snap["spans"]["engine.run"]["count"] >= 1
+
+
 class TestBatteryResultShape:
     def test_all_ok_reflects_failing_checks(self):
         good = ExperimentOutcome("x", 0.1, error=None, result=None)
