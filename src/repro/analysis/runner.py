@@ -111,6 +111,7 @@ class BatteryResult:
             total.builds += outcome.cache.builds
             total.lock_waits += outcome.cache.lock_waits
             total.evictions += outcome.cache.evictions
+            total.stale_reclaims += outcome.cache.stale_reclaims
         return total
 
     def timing_table(self) -> str:
@@ -148,13 +149,22 @@ def _context_for(scale: float, cache_dir: Optional[str]) -> DataContext:
 
 
 def run_one(
-    experiment_id: str, scale: float, cache_dir: Optional[str] = None
+    experiment_id: str,
+    scale: float,
+    cache_dir: Optional[str] = None,
+    timeout: Optional[float] = None,
 ) -> ExperimentOutcome:
     """Run one experiment in this process; never raises.
 
     This is the unit of work a pool worker executes; ``run_battery``
     with ``jobs=1`` calls it directly so both modes share one code path.
+
+    With ``timeout`` the experiment executes in a watchdog subprocess
+    that is killed on overrun; the cell comes back failed (isolated,
+    like a raising experiment) instead of hanging the battery.
     """
+    if timeout is not None:
+        return _run_one_guarded(experiment_id, scale, cache_dir, timeout)
     ctx = _context_for(scale, cache_dir)
     before = ctx.cache.stats.snapshot() if ctx.cache is not None else None
     obs_before = obs.snapshot() if obs.is_enabled() else None
@@ -192,18 +202,81 @@ def _pool_context() -> multiprocessing.context.BaseContext:
     return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
 
 
+def _watchdog_child(pipe, experiment_id: str, scale: float, cache_dir) -> None:
+    """Child body of the timeout watchdog: run, then ship the outcome."""
+    try:
+        pipe.send(run_one(experiment_id, scale, cache_dir))
+    finally:
+        pipe.close()
+
+
+def _run_one_guarded(
+    experiment_id: str, scale: float, cache_dir: Optional[str], timeout: float
+) -> ExperimentOutcome:
+    """Run one experiment under a wall-clock guard, never raising.
+
+    The experiment executes in a fresh child process (fork-preferring,
+    so in-memory dataset caches stay warm); if no outcome arrives within
+    ``timeout`` seconds the child is killed and the cell is marked
+    failed.  ProcessPoolExecutor workers are non-daemonic, so this
+    nests cleanly under ``jobs > 1``.
+    """
+    ctx = _pool_context()
+    receiver, sender = ctx.Pipe(duplex=False)
+    process = ctx.Process(
+        target=_watchdog_child,
+        args=(sender, experiment_id, scale, cache_dir),
+    )
+    start = time.perf_counter()
+    process.start()
+    sender.close()
+    outcome: Optional[ExperimentOutcome] = None
+    died_early = False
+    if receiver.poll(timeout):
+        # The pipe is readable: either an outcome or an EOF from a
+        # child that died before shipping one.
+        try:
+            outcome = receiver.recv()
+        except (EOFError, OSError):
+            died_early = True
+    receiver.close()
+    wall = time.perf_counter() - start
+    if outcome is not None:
+        process.join(timeout=5.0)
+        # The child recorded into its own forked registry; fold its
+        # delta into ours (the pool path then propagates outcome.obs
+        # to the pool parent exactly once, as for an unguarded cell).
+        obs.merge(outcome.obs)
+        return outcome
+    if died_early:
+        process.join(timeout=5.0)
+        error = f"worker process died (exit code {process.exitcode})"
+    else:
+        obs.counter("runner.experiments.timeout")
+        process.terminate()
+        process.join(timeout=5.0)
+        if process.is_alive():
+            process.kill()
+            process.join(timeout=5.0)
+        error = f"timed out after {timeout:g}s (killed)"
+    return ExperimentOutcome(
+        experiment_id=experiment_id, wall_time=wall, error=error
+    )
+
+
 def run_battery(
     experiment_ids: Sequence[str],
     scale: float = DEFAULT_SCALE,
     jobs: int = 1,
     cache_dir: Optional[Union[str, Path]] = None,
+    timeout: Optional[float] = None,
 ) -> BatteryResult:
     """Run ``experiment_ids`` and assemble outcomes in request order.
 
     ``jobs > 1`` fans the experiments out over a process pool; dataset
     builds are coordinated through the shared cache directory so each
     dataset is simulated at most once.  A failure in one experiment
-    never aborts the rest.
+    never aborts the rest; with ``timeout`` set, neither does a hang.
     """
     ids = list(experiment_ids)
     unknown = [eid for eid in ids if eid not in ALL_RUNNERS]
@@ -215,14 +288,14 @@ def run_battery(
     cache_dir = str(cache_dir) if cache_dir is not None else None
     start = time.perf_counter()
     if jobs <= 1 or len(ids) <= 1:
-        outcomes = [run_one(eid, scale, cache_dir) for eid in ids]
+        outcomes = [run_one(eid, scale, cache_dir, timeout) for eid in ids]
     else:
         outcomes = [None] * len(ids)
         with ProcessPoolExecutor(
             max_workers=min(jobs, len(ids)), mp_context=_pool_context()
         ) as pool:
             futures = {
-                pool.submit(run_one, eid, scale, cache_dir): index
+                pool.submit(run_one, eid, scale, cache_dir, timeout): index
                 for index, eid in enumerate(ids)
             }
             for future in as_completed(futures):

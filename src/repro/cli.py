@@ -10,6 +10,7 @@ Usage::
     repro-audit bench --scale 0.2 --jobs 4 --out BENCH_runner.json
     repro-audit dataset C --scale 0.1 --out dataset_c.json.gz
     repro-audit faults --scale 0.05 --loss 0 0.05 0.5 --downtime 0 0.25
+    repro-audit serve --dataset dataset_c.json.gz --wal-dir ./wal --port 8730
 
 Datasets are simulated once and cached under ``--cache-dir`` (default
 ``~/.cache/repro-audit``); warm runs load them from disk instead of
@@ -27,7 +28,7 @@ from .analysis.base import DEFAULT_SCALE
 from .analysis.experiments import ALL_RUNNERS, EXPERIMENTS, EXTENSIONS
 from .datasets.builder import build_dataset_a, build_dataset_b, build_dataset_c
 from .datasets.cache import DEFAULT_CACHE_DIR
-from .datasets.io import save_dataset
+from .datasets.io import atomic_write_text, save_dataset
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -64,6 +65,14 @@ def _build_parser() -> argparse.ArgumentParser:
         default=1,
         help="worker processes; experiments fan out over a pool when >1 "
         "(the report stays byte-identical to a sequential run)",
+    )
+    run_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-experiment wall-clock limit in seconds; an experiment "
+        "exceeding it is killed and its cell marked failed (the rest of "
+        "the battery continues, per the failure-isolation contract)",
     )
     run_parser.add_argument(
         "--trace",
@@ -126,16 +135,23 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     bench_parser.add_argument(
         "--suite",
-        choices=["runner", "metrics", "full"],
         default="runner",
-        help="'runner' times the experiment battery grid, 'metrics' the "
-        "scalar-vs-vectorized audit kernels, 'full' both",
+        help="comma-separated subset of {runner, metrics, service}, or "
+        "'full' for all of them: 'runner' times the experiment battery "
+        "grid, 'metrics' the scalar-vs-vectorized audit kernels, "
+        "'service' the streaming audit service query storm",
     )
     bench_parser.add_argument(
         "--metrics-scale",
         type=float,
         default=0.3,
         help="dataset scale for the metrics suite (default 0.3)",
+    )
+    bench_parser.add_argument(
+        "--service-scale",
+        type=float,
+        default=0.2,
+        help="dataset scale for the service query-storm cell (default 0.2)",
     )
 
     dataset_parser = sub.add_parser(
@@ -196,6 +212,60 @@ def _build_parser() -> argparse.ArgumentParser:
     faults_parser.add_argument(
         "--out", type=str, default=None, help="also write the report to a file"
     )
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="run the crash-safe streaming audit service over HTTP",
+        description=(
+            "Serve the streaming auditor: blocks arrive one at a time via "
+            "POST /ingest (write-ahead journalled, so kill -9 resumes to "
+            "identical state); answers from /query/tx, /query/pool and "
+            "/audit always carry a data-quality annotation."
+        ),
+    )
+    serve_parser.add_argument(
+        "--dataset",
+        type=str,
+        required=True,
+        help="saved dataset file (repro-audit dataset …) supplying the "
+        "observer context; its chain is ignored — blocks must be ingested",
+    )
+    serve_parser.add_argument(
+        "--wal-dir",
+        type=str,
+        required=True,
+        help="directory for the write-ahead journal and its checkpoints",
+    )
+    serve_parser.add_argument("--host", type=str, default="127.0.0.1")
+    serve_parser.add_argument(
+        "--port", type=int, default=0, help="0 binds an ephemeral port"
+    )
+    serve_parser.add_argument(
+        "--port-file",
+        type=str,
+        default=None,
+        help="atomically write the bound port here (supervisors poll it)",
+    )
+    serve_parser.add_argument(
+        "--queue-size",
+        type=int,
+        default=64,
+        help="bounded ingest queue depth; a full queue answers 503 with "
+        "retry_after instead of dropping blocks (default 64)",
+    )
+    serve_parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=64,
+        help="compact the journal into a checkpoint every N applied "
+        "blocks (default 64)",
+    )
+    serve_parser.add_argument(
+        "--no-fsync",
+        action="store_true",
+        help="skip per-append fsync (testing only: trades the machine-"
+        "crash guarantee for speed)",
+    )
     return parser
 
 
@@ -239,27 +309,37 @@ def _run_command(args: argparse.Namespace) -> int:
 
         with obs.tracing(reset=True):
             battery = run_battery(
-                ids, scale=args.scale, jobs=args.jobs, cache_dir=cache_dir
+                ids,
+                scale=args.scale,
+                jobs=args.jobs,
+                cache_dir=cache_dir,
+                timeout=args.timeout,
             )
             trace_snapshot = obs.snapshot()
     else:
         battery = run_battery(
-            ids, scale=args.scale, jobs=args.jobs, cache_dir=cache_dir
+            ids,
+            scale=args.scale,
+            jobs=args.jobs,
+            cache_dir=cache_dir,
+            timeout=args.timeout,
         )
         trace_snapshot = None
     report = battery.report()
     print(report)
     if args.out:
-        with open(args.out, "w", encoding="utf-8") as handle:
-            handle.write(report + "\n")
+        atomic_write_text(args.out, report + "\n")
         print(f"\nreport written to {args.out}")
     print("\n" + battery.timing_table())
     if cache_dir is not None:
         print(f"dataset cache [{cache_dir}]: {battery.cache_stats().summary()}")
     if trace_snapshot is not None:
-        with open(args.trace_out, "w", encoding="utf-8") as handle:
-            json.dump(trace_snapshot, handle, indent=2, sort_keys=True)
-            handle.write("\n")
+        # Atomic like the dataset writers: a crash mid-export must not
+        # leave a truncated snapshot behind for 'repro-audit obs'.
+        atomic_write_text(
+            args.trace_out,
+            json.dumps(trace_snapshot, indent=2, sort_keys=True) + "\n",
+        )
         print(
             f"trace metrics written to {args.trace_out} "
             f"({len(trace_snapshot['counters'])} counters, "
@@ -286,15 +366,30 @@ def _run_command(args: argparse.Namespace) -> int:
 def _bench_command(args: argparse.Namespace) -> int:
     from .analysis.runner import run_bench, run_metrics_bench
 
+    known = {"runner", "metrics", "service"}
+    suites = (
+        set(known)
+        if args.suite == "full"
+        else {part.strip() for part in args.suite.split(",") if part.strip()}
+    )
+    unknown = suites - known
+    if unknown or not suites:
+        print(
+            f"error: unknown bench suite(s) {sorted(unknown)}; "
+            f"pick from {sorted(known)} or 'full'",
+            file=sys.stderr,
+        )
+        return 2
+
     exit_code = 0
-    if args.suite in ("runner", "full"):
+    if "runner" in suites:
         ids = _resolve_ids(args.experiments)
         if ids is None:
             return 2
         document = run_bench(ids, scale=args.scale, jobs=args.jobs)
     else:
-        document = {"benchmark": "metrics-only"}
-    if args.suite in ("metrics", "full"):
+        document = {"benchmark": "+".join(sorted(suites)) + "-only"}
+    if "metrics" in suites:
         metrics = run_metrics_bench(scale=args.metrics_scale)
         document["metrics"] = metrics
         if not metrics["all_identical"]:
@@ -309,9 +404,12 @@ def _bench_command(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             exit_code = 1
+    if "service" in suites:
+        from .service.bench import run_service_bench
+
+        document["service"] = run_service_bench(scale=args.service_scale)
     text = json.dumps(document, indent=2, sort_keys=True)
-    with open(args.out, "w", encoding="utf-8") as handle:
-        handle.write(text + "\n")
+    atomic_write_text(args.out, text + "\n")
     print(text)
     print(f"\nbenchmark written to {args.out}")
     return exit_code
@@ -386,6 +484,41 @@ def _faults_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_command(args: argparse.Namespace) -> int:
+    from .service.server import AuditService, make_http_server
+
+    try:
+        service = AuditService.from_dataset_file(
+            args.dataset,
+            wal_dir=args.wal_dir,
+            queue_size=args.queue_size,
+            checkpoint_every=args.checkpoint_every,
+            fsync=not args.no_fsync,
+        )
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot load dataset {args.dataset}: {exc}", file=sys.stderr)
+        return 2
+    server = make_http_server(service, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    if args.port_file:
+        atomic_write_text(args.port_file, f"{port}\n")
+    replayed = service.recover()
+    print(
+        f"serving audit of {args.dataset} on http://{host}:{port} "
+        f"(recovered {replayed} journalled blocks, "
+        f"applied height {service.applied_height})",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        service.stop()
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point."""
     parser = _build_parser()
@@ -406,6 +539,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _dataset_command(args)
     if args.command == "faults":
         return _faults_command(args)
+    if args.command == "serve":
+        return _serve_command(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

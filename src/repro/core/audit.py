@@ -14,11 +14,14 @@ stays independently testable.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Iterable, Optional, Sequence, TypeVar
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterable, Iterator, Optional, Sequence, TypeVar
 
 import numpy as np
 
+from ..chain.attribution import HashRateEstimate, estimate_hash_rates
+from ..chain.block import Block
+from ..chain.blockchain import Blockchain
 from ..datasets.dataset import Dataset
 from ..faults.quality import DataQualityReport, assess_quality
 from ..mempool.snapshots import CONGESTION_BINS
@@ -36,8 +39,20 @@ from .congestion import (
     fee_rates_by_congestion,
 )
 from .norms import CpfpFilter
-from .ppe import BlockPpe, PpeSummary, SppeResult, chain_ppe, sppe, summarize_ppe
-from .stattests import PrioritizationTestResult, prioritization_test
+from .ppe import (
+    BlockPpe,
+    PpeAccumulator,
+    PpeSummary,
+    SppeResult,
+    chain_ppe,
+    sppe,
+    summarize_ppe,
+)
+from .stattests import (
+    PrioritizationAccumulator,
+    PrioritizationTestResult,
+    prioritization_test,
+)
 from .vectorized import (
     ChainArrays,
     analyze_snapshots_multi,
@@ -48,6 +63,7 @@ from .vectorized import (
 )
 from .violations import (
     SnapshotView,
+    ViolationAccumulator,
     ViolationStats,
     analyze_snapshot,
     build_snapshot_view,
@@ -576,3 +592,274 @@ class Auditor:
             "congestion", self.congested_fraction, float("nan"), notes
         )
         return report
+
+
+# ----------------------------------------------------------------------
+# Streaming (incremental) auditing
+# ----------------------------------------------------------------------
+class _StreamingDatasetView(Dataset):
+    """A :class:`Dataset` whose chain-derived mappings come from folds.
+
+    The batch :class:`Dataset` answers ``hash_rates``/``commit_heights``/
+    ``cpfp_txids``/``c_block_miners``/``blocks_of`` with full scans of
+    the chain or the record table.  This view delegates them to the
+    accumulators a :class:`StreamingAuditor` maintains, so a query after
+    block *h* touches only fold-time state — while every *other* Dataset
+    method (labels, wallets, delays, summaries) keeps its inherited
+    batch semantics over the same underlying objects.
+
+    Equivalence with the batch answers over the folded prefix is the
+    contract (see each accumulator's docstring); one deliberate
+    exception is documented on :meth:`commit_heights`.
+    """
+
+    # The three accumulators are attached by StreamingAuditor right
+    # after construction (they are plain attributes, not dataclass
+    # fields, so __eq__/__repr__ never see them).
+    _ppe_acc: PpeAccumulator
+    _violation_acc: ViolationAccumulator
+    _prio_acc: PrioritizationAccumulator
+
+    def blocks_of(self, pool: str) -> list[Block]:
+        return self._ppe_acc.pool_blocks(pool)
+
+    def hash_rates(self) -> list[HashRateEstimate]:
+        return estimate_hash_rates(self._prio_acc.labels)
+
+    def hash_rate_of(self, pool: str) -> float:
+        return self._prio_acc.share(pool)
+
+    def commit_heights(self) -> dict[str, int]:
+        """txid → height over *folded blocks* (not just recorded txs).
+
+        Superset of the batch mapping when the chain holds transactions
+        the observer never recorded; such transactions can never appear
+        in a mempool snapshot, so every snapshot join is unaffected.
+        """
+        return dict(self._violation_acc.commit_heights)
+
+    def cpfp_txids(self) -> frozenset[str]:
+        return frozenset(self._violation_acc.cpfp_txids)
+
+    def c_block_miners(self, txids: Iterable[str]) -> list[str]:
+        return self._prio_acc.miners(self._violation_acc.heights_of(txids))
+
+
+def stream_blocks(dataset: Dataset) -> Iterator[tuple[int, str, Block]]:
+    """Yield (height, pool, block) in chain order — the replay feed.
+
+    Blocks without an attribution fall back to the ``"unknown"`` label,
+    mirroring what attribution produces for unmatched coinbases.
+    """
+    for block in dataset.chain:
+        pool = dataset.block_pools.get(block.height, "unknown")
+        yield block.height, pool, block
+
+
+class StreamingAuditor(Auditor):
+    """An :class:`Auditor` that folds one committed block at a time.
+
+    Construction takes only the *observer context* — mempool snapshots
+    and transaction records with their commit columns cleared — and an
+    empty chain.  Each :meth:`fold_block` appends a block (validated for
+    height/prev-hash continuity by :class:`Blockchain`), re-marks the
+    committed records, and folds the three incremental accumulators.
+
+    Equivalence contract (pinned by the streaming differential tests):
+    after folding every block of a dataset in chain order, every query —
+    including the full :meth:`Auditor.audit` — returns bit-identical
+    results to a batch :class:`Auditor` over the original dataset.
+    This holds in both scalar and vectorized dispatch modes because the
+    accumulator-backed overrides reuse the exact batch functions over
+    identical state, and the PR 3 oracle already pins scalar ==
+    vectorized.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        snapshots,
+        tx_records: dict[str, "TxRecord"],
+        pool_wallets=None,
+        size_series=None,
+        metadata=None,
+        cpfp_filter: CpfpFilter = CpfpFilter.CHILDREN,
+    ) -> None:
+        records = {
+            txid: (
+                replace(record, commit_height=None, commit_position=None)
+                if record.commit_height is not None
+                else record
+            )
+            for txid, record in tx_records.items()
+        }
+        view = _StreamingDatasetView(
+            name=name,
+            chain=Blockchain(),
+            snapshots=snapshots,
+            tx_records=records,
+            block_pools={},
+            pool_wallets=dict(pool_wallets or {}),
+            size_series=size_series,
+            metadata=dict(metadata or {}),
+        )
+        self._ppe_acc = PpeAccumulator(cpfp_filter)
+        self._violation_acc = ViolationAccumulator()
+        self._prio_acc = PrioritizationAccumulator()
+        view._ppe_acc = self._ppe_acc
+        view._violation_acc = self._violation_acc
+        view._prio_acc = self._prio_acc
+        super().__init__(view)
+
+    @classmethod
+    def from_dataset(
+        cls, dataset: Dataset, cpfp_filter: CpfpFilter = CpfpFilter.CHILDREN
+    ) -> "StreamingAuditor":
+        """Observer context of ``dataset`` with nothing folded yet.
+
+        The dataset's chain is *not* copied: blocks are expected to
+        arrive through :meth:`fold_block` (e.g. via
+        :func:`stream_blocks`), which is exactly what the differential
+        tests exploit.
+        """
+        return cls(
+            name=dataset.name,
+            snapshots=dataset.snapshots,
+            tx_records=dataset.tx_records,
+            pool_wallets=dataset.pool_wallets,
+            size_series=dataset.size_series,
+            metadata=dataset.metadata,
+            cpfp_filter=cpfp_filter,
+        )
+
+    # ------------------------------------------------------------------
+    # Folding
+    # ------------------------------------------------------------------
+    @property
+    def applied_height(self) -> int:
+        """Height of the last folded block (-1 before the first)."""
+        return self.dataset.chain.height
+
+    @property
+    def expected_height(self) -> int:
+        """The only height :meth:`fold_block` will accept next."""
+        return self.dataset.chain.height + 1
+
+    def fold_block(self, block: Block, pool: str) -> None:
+        """Fold one committed, attributed block into every accumulator.
+
+        Appending validates chain linkage, so a gapped or reordered feed
+        raises before any state is touched; afterwards the records of
+        the block's transactions regain their commit columns exactly as
+        batch curation set them (height + in-block position).
+        """
+        chain = self.dataset.chain
+        chain.append(block)
+        self.dataset.block_pools[block.height] = pool
+        records = self.dataset.tx_records
+        for position, tx in enumerate(block.transactions):
+            record = records.get(tx.txid)
+            if record is not None:
+                records[tx.txid] = replace(
+                    record,
+                    commit_height=block.height,
+                    commit_position=position,
+                )
+        self._ppe_acc.fold(block, pool)
+        self._violation_acc.fold(block)
+        self._prio_acc.fold(block.height, pool)
+        # Chain-derived caches are stale the moment the tip moves.
+        self._arrays.clear()
+        self._quality = None
+
+    # ------------------------------------------------------------------
+    # Accumulator-backed query overrides
+    # ------------------------------------------------------------------
+    def ppe_distribution(
+        self, cpfp_filter: CpfpFilter = CpfpFilter.CHILDREN
+    ) -> list[BlockPpe]:
+        if cpfp_filter is not self._ppe_acc.cpfp_filter:
+            return super().ppe_distribution(cpfp_filter)
+        return list(self._ppe_acc.results)
+
+    def ppe_by_pool(self, pools: Sequence[str]) -> dict[str, list[BlockPpe]]:
+        return {pool: list(self._ppe_acc.by_pool.get(pool, ())) for pool in pools}
+
+    def snapshot_views(
+        self,
+        count: int = 30,
+        rng: Optional[np.random.Generator] = None,
+        exclude_cpfp: bool = False,
+    ) -> list[SnapshotView]:
+        rng = rng if rng is not None else np.random.default_rng(30)
+        snapshots = self.dataset.snapshots.sample(count, rng)
+        return [
+            self._violation_acc.snapshot_view(snapshot, exclude_cpfp)
+            for snapshot in snapshots
+        ]
+
+    def prioritization_test_for(
+        self, target_pool: str, txids: Iterable[str], coverage: float = 1.0
+    ) -> PrioritizationTestResult:
+        return self._prio_acc.test_for(
+            target_pool,
+            self._violation_acc.heights_of(txids),
+            coverage=coverage,
+        )
+
+    def sppe_for(self, target_pool: str, txids: Iterable[str]) -> SppeResult:
+        return self._ppe_acc.sppe(target_pool, txids)
+
+    def sppe_value(self, target_pool: str, txids: Iterable[str]) -> float:
+        return self._ppe_acc.sppe(target_pool, txids).sppe
+
+    def self_interest_table(
+        self,
+        owner_pools: Optional[Sequence[str]] = None,
+        target_pools: Optional[Sequence[str]] = None,
+        min_target_share: float = 0.035,
+        use_inferred: bool = True,
+    ) -> list[SelfInterestRow]:
+        """Table 2 off accumulator state — no packed-array rebuild.
+
+        Row-for-row identical to both batch variants: pool selection
+        reads the accumulator-backed ``hash_rates``, each test uses the
+        same (θ0, c-block miners) inputs, and the SPPE comes from the
+        scalar oracle over the per-pool block lists (which the oracle
+        pins equal to ``sppe_arrays``).
+        """
+        estimates = self.dataset.hash_rates()
+        if owner_pools is None:
+            owner_pools = [
+                est.pool for est in estimates if est.pool != "unknown"
+            ][:20]
+        if target_pools is None:
+            target_pools = [
+                est.pool
+                for est in estimates
+                if est.share >= min_target_share and est.pool != "unknown"
+            ]
+        rows: list[SelfInterestRow] = []
+        for owner in owner_pools:
+            txids = (
+                self.dataset.inferred_self_interest_txids_indexed(owner)
+                if use_inferred
+                else self.dataset.self_interest_txids(owner)
+            )
+            if not txids:
+                continue
+            heights = self._violation_acc.heights_of(txids)
+            for target in target_pools:
+                test = self._prio_acc.test_for(target, heights)
+                if test.y == 0:
+                    continue
+                rows.append(
+                    SelfInterestRow(
+                        owner_pool=owner,
+                        target_pool=target,
+                        test=test,
+                        sppe=self._ppe_acc.sppe(target, txids).sppe,
+                        tx_count=len(txids),
+                    )
+                )
+        return rows

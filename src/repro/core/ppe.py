@@ -208,3 +208,74 @@ def per_transaction_sppe(
         for prediction in predictions_for(block, cpfp_filter):
             errors[prediction.txid] = prediction.signed_error
     return errors
+
+
+class PpeAccumulator:
+    """Incremental PPE/SPPE state: fold one committed block at a time.
+
+    The batch path scans the whole chain per question (``chain_ppe``
+    walks every block; ``blocks_of(pool)`` re-filters the chain per
+    pool).  A long-running audit service cannot afford either, so this
+    accumulator maintains, per fold:
+
+    * the chain-order ``BlockPpe`` list (identical to
+      ``chain_ppe(blocks_so_far)`` — same function, same order),
+    * the same list partitioned by attributed pool (Fig 7b),
+    * per-pool chain-order block lists, so an SPPE query over a pool
+      touches only that pool's blocks and reuses the per-block
+      prediction memos built at fold time.
+
+    Equivalence with the batch functions is the load-bearing contract:
+    ``tests/test_streaming_differential.py`` pins bit-identical results
+    over full datasets.
+    """
+
+    def __init__(self, cpfp_filter: CpfpFilter = CpfpFilter.CHILDREN) -> None:
+        self.cpfp_filter = cpfp_filter
+        #: Chain-order per-block PPE — ``chain_ppe`` of the folded prefix.
+        self.results: list[BlockPpe] = []
+        #: The same results keyed by attributed pool.
+        self.by_pool: dict[str, list[BlockPpe]] = {}
+        self._pool_blocks: dict[str, list[Block]] = {}
+        self.block_count = 0
+
+    def fold(self, block: Block, pool: Optional[str] = None) -> Optional[BlockPpe]:
+        """Fold one committed block; returns its BlockPpe (None if empty).
+
+        Folding also warms the block's prediction memo, so later SPPE
+        queries over the same block are dictionary lookups.
+        """
+        self.block_count += 1
+        result = block_ppe(block, self.cpfp_filter)
+        if result is not None:
+            self.results.append(result)
+            if pool is not None:
+                self.by_pool.setdefault(pool, []).append(result)
+        if pool is not None:
+            self._pool_blocks.setdefault(pool, []).append(block)
+        return result
+
+    def pool_blocks(self, pool: str) -> list[Block]:
+        """Chain-order blocks attributed to ``pool`` among folded blocks."""
+        return list(self._pool_blocks.get(pool, ()))
+
+    def summary(self) -> PpeSummary:
+        """Fig 7a summary over everything folded so far."""
+        return summarize_ppe(self.results)
+
+    def pool_summary(self, pool: str) -> PpeSummary:
+        return summarize_ppe(self.by_pool.get(pool, []))
+
+    def sppe(self, pool: str, txids: Iterable[str]) -> SppeResult:
+        """SPPE of ``txids`` within ``pool``'s folded blocks.
+
+        Identical to ``sppe(dataset.blocks_of(pool), txids)`` on the
+        folded prefix: the per-pool lists preserve chain order.
+        """
+        return sppe(self._pool_blocks.get(pool, ()), txids, self.cpfp_filter)
+
+    def per_transaction_sppe(self, pool: str) -> dict[str, float]:
+        """Per-transaction signed errors within ``pool``'s folded blocks."""
+        return per_transaction_sppe(
+            self._pool_blocks.get(pool, ()), self.cpfp_filter
+        )

@@ -273,6 +273,87 @@ def windowed_prioritization_test(
     return fishers_method(p_values)
 
 
+class PrioritizationAccumulator:
+    """Incremental hash-share and c-block state for the binomial tests.
+
+    The batch path recomputes θ0 from a full ``block_pools`` scan and
+    relabels c-blocks from a full record scan per query.  Folding one
+    attributed block at a time maintains the same quantities:
+
+    * ``labels`` — pool label per folded block in chain order, exactly
+      the sequence ``[block_pools[h] for h in sorted(block_pools)]``
+      the batch path feeds to ``estimate_hash_rates``;
+    * per-pool block counts, so θ0 = count/total uses the identical
+      division the batch ``HashRateEstimate`` construction performs.
+
+    ``test_for`` then runs :func:`prioritization_test` over miner labels
+    resolved from commit heights — the same sorted-heights walk as the
+    batch ``Dataset.c_block_miners`` — giving bit-identical (θ0, x, y)
+    inputs and therefore bit-identical p-values.
+    """
+
+    def __init__(self) -> None:
+        #: Pool label of each folded block, in fold (= chain) order.
+        self.labels: list[str] = []
+        self._by_height: dict[int, str] = {}
+        self._counts: dict[str, int] = {}
+
+    @property
+    def block_count(self) -> int:
+        return len(self.labels)
+
+    def fold(self, height: int, pool: str) -> None:
+        """Fold one attributed block."""
+        self.labels.append(pool)
+        self._by_height[height] = pool
+        self._counts[pool] = self._counts.get(pool, 0) + 1
+
+    def share(self, pool: str) -> float:
+        """θ0 of ``pool`` over the folded prefix (0.0 if absent).
+
+        Identical arithmetic to the batch estimate: blocks/total in one
+        division.
+        """
+        count = self._counts.get(pool)
+        if not count:
+            return 0.0
+        return count / len(self.labels)
+
+    def miners(self, heights: Iterable[int]) -> list[str]:
+        """Miner labels of the given c-block heights, sorted by height."""
+        return [
+            self._by_height[h]
+            for h in sorted(set(heights))
+            if h in self._by_height
+        ]
+
+    def test_for(
+        self,
+        pool: str,
+        c_block_heights: Iterable[int],
+        coverage: float = 1.0,
+    ) -> PrioritizationTestResult:
+        """Both directional tests for ``pool`` at the current fold.
+
+        Degenerate θ0 (pool absent, or sole miner) yields the same
+        evidence-free x = y = 0, p = 1.0 row the batch Auditor reports.
+        """
+        theta0 = self.share(pool)
+        if not 0.0 < theta0 < 1.0:
+            return PrioritizationTestResult(
+                pool=pool,
+                theta0=theta0,
+                x=0,
+                y=0,
+                p_accelerate=1.0,
+                p_decelerate=1.0,
+                coverage=coverage,
+            )
+        return prioritization_test(
+            pool, theta0, self.miners(c_block_heights), coverage=coverage
+        )
+
+
 def c_blocks_for(
     block_miners: Mapping[int, str],
     commit_heights: Iterable[Optional[int]],

@@ -24,6 +24,8 @@ from typing import Iterable, Mapping, Optional, Sequence
 
 import numpy as np
 
+from ..chain.block import Block
+from ..mempool.ancestry import find_cpfp_txids
 from ..mempool.snapshots import MempoolSnapshot
 
 #: The two ε values the paper uses when tightening the test.
@@ -166,6 +168,67 @@ def analyze_snapshots(
         epsilon: [analyze_snapshot(view, epsilon) for view in views]
         for epsilon in epsilons
     }
+
+
+class ViolationAccumulator:
+    """Incremental commit/CPFP state behind the pairwise violation test.
+
+    The batch path derives ``commit_heights`` from a full record scan and
+    ``cpfp_txids`` from a full chain scan for every audit.  This
+    accumulator maintains both maps fold-by-fold: each committed block
+    contributes its txid → height entries and its in-block CPFP children
+    (Appendix E), after which any snapshot can be joined and tested
+    without touching the chain again.
+
+    Equivalence contract: after folding blocks 0..h, ``commit_heights``
+    equals the batch ``Dataset.commit_heights()`` restricted to those
+    blocks' transactions, and ``cpfp_txids`` equals the batch
+    ``Dataset.cpfp_txids()`` union over the same prefix — both are built
+    by the same underlying functions, so :func:`build_snapshot_view`
+    joins produce bit-identical :class:`ViolationStats`.
+    """
+
+    def __init__(self) -> None:
+        #: txid → commit height over every folded block.
+        self.commit_heights: dict[str, int] = {}
+        #: Union of in-block CPFP children across folded blocks.
+        self.cpfp_txids: set[str] = set()
+        self.block_count = 0
+
+    def fold(self, block: Block) -> None:
+        """Fold one committed block's commit and CPFP contributions."""
+        self.block_count += 1
+        height = block.height
+        for tx in block.transactions:
+            self.commit_heights[tx.txid] = height
+        self.cpfp_txids.update(find_cpfp_txids(block))
+
+    def heights_of(self, txids: Iterable[str]) -> set[int]:
+        """Distinct commit heights of the folded subset of ``txids``."""
+        heights: set[int] = set()
+        for txid in txids:
+            height = self.commit_heights.get(txid)
+            if height is not None:
+                heights.add(height)
+        return heights
+
+    def snapshot_view(
+        self, snapshot: MempoolSnapshot, exclude_cpfp: bool = True
+    ) -> SnapshotView:
+        """Join ``snapshot`` against the folded commit state."""
+        cpfp = frozenset(self.cpfp_txids) if exclude_cpfp else None
+        return build_snapshot_view(snapshot, self.commit_heights, cpfp)
+
+    def analyze(
+        self,
+        snapshot: MempoolSnapshot,
+        epsilon: float = 0.0,
+        exclude_cpfp: bool = True,
+    ) -> ViolationStats:
+        """Run the pairwise test on one snapshot at the current fold."""
+        return analyze_snapshot(
+            self.snapshot_view(snapshot, exclude_cpfp), epsilon
+        )
 
 
 def enumerate_violating_pairs(

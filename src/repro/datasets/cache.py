@@ -18,6 +18,14 @@ half-written dataset.
 
 Corrupt cache entries (truncated files, stale schema) are treated as
 misses and rebuilt, never propagated.
+
+Stale locks: the elected builder records its PID in the lockfile.  A
+waiter that can *prove* the recorded holder is dead (the PID parses and
+``kill -0`` reports no such process) reclaims the lock after a bounded
+grace period and re-elects, instead of burning the whole lock timeout.
+Locks whose content does not parse as a PID are never reclaimed — the
+holder may be a foreign writer we cannot reason about — so the old
+timeout-then-build-locally fallback still backstops correctness.
 """
 
 from __future__ import annotations
@@ -46,6 +54,11 @@ DEFAULT_LOCK_TIMEOUT = 900.0
 
 #: Poll cadence while waiting on another builder (seconds).
 DEFAULT_POLL_INTERVAL = 0.05
+
+#: How long a lock naming a *dead* PID must stay dead before a waiter
+#: reclaims it (seconds).  The grace bounds the damage of PID reuse and
+#: of observing a lock mid-write.
+DEFAULT_STALE_LOCK_GRACE = 1.0
 
 
 @dataclass(frozen=True)
@@ -88,6 +101,7 @@ class CacheStats:
     builds: int = 0
     lock_waits: int = 0
     evictions: int = 0
+    stale_reclaims: int = 0
 
     def snapshot(self) -> "CacheStats":
         return CacheStats(
@@ -96,6 +110,7 @@ class CacheStats:
             builds=self.builds,
             lock_waits=self.lock_waits,
             evictions=self.evictions,
+            stale_reclaims=self.stale_reclaims,
         )
 
     def delta(self, before: "CacheStats") -> "CacheStats":
@@ -106,6 +121,7 @@ class CacheStats:
             builds=self.builds - before.builds,
             lock_waits=self.lock_waits - before.lock_waits,
             evictions=self.evictions - before.evictions,
+            stale_reclaims=self.stale_reclaims - before.stale_reclaims,
         )
 
     def summary(self) -> str:
@@ -128,10 +144,12 @@ class DatasetCache:
         directory: Optional[Union[str, Path]] = None,
         lock_timeout: float = DEFAULT_LOCK_TIMEOUT,
         poll_interval: float = DEFAULT_POLL_INTERVAL,
+        stale_lock_grace: float = DEFAULT_STALE_LOCK_GRACE,
     ) -> None:
         self.directory = Path(directory or DEFAULT_CACHE_DIR).expanduser()
         self.lock_timeout = lock_timeout
         self.poll_interval = poll_interval
+        self.stale_lock_grace = stale_lock_grace
         self.stats = CacheStats()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -245,7 +263,13 @@ class DatasetCache:
 
         Returns the loaded dataset, or None when the lock disappeared
         without an artifact (builder died) or the deadline passed.
+
+        A lock whose recorded PID is verifiably dead is *reclaimed*
+        (unlinked) once it has stayed dead for ``stale_lock_grace``
+        seconds, so a crashed builder costs one grace period instead of
+        the full lock timeout.  Unparseable lock content is left alone.
         """
+        stale_since: Optional[float] = None
         while time.monotonic() < deadline:
             if path.exists():
                 dataset = self._load(path)
@@ -255,8 +279,50 @@ class DatasetCache:
                 # Builder exited.  One final check for its artifact.
                 dataset = self._load(path)
                 return dataset
+            if self._lock_holder_dead(lock):
+                if stale_since is None:
+                    stale_since = time.monotonic()
+                elif time.monotonic() - stale_since >= self.stale_lock_grace:
+                    # Holder stayed dead for the whole grace: reclaim.
+                    try:
+                        lock.unlink()
+                    except FileNotFoundError:
+                        pass  # another waiter reclaimed it first
+                    self.stats.stale_reclaims += 1
+                    obs.counter("cache.stale_reclaims")
+                    return self._load(path)
+            else:
+                stale_since = None
             time.sleep(self.poll_interval)
         return None
+
+    @staticmethod
+    def _lock_holder_dead(lock: Path) -> bool:
+        """True only when the lock names a PID that provably no longer runs.
+
+        Anything ambiguous — unreadable lock, non-numeric content, a
+        live process, or one we lack permission to signal — counts as
+        alive, so reclamation can never steal a lock from a holder that
+        might still finish.
+        """
+        try:
+            text = lock.read_text().strip()
+        except OSError:
+            return False
+        if not text.isdigit():
+            return False
+        pid = int(text)
+        if pid <= 0:
+            return False
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return True
+        except PermissionError:
+            return False  # exists under another uid: alive
+        except OSError:
+            return False
+        return False
 
     def clear(self) -> int:
         """Delete every cache entry (and stray lock); returns the count."""

@@ -64,15 +64,33 @@ class CheckpointConfig:
         self.path = Path(self.path)
 
 
-def write_checkpoint(path: Union[str, Path], payload: dict) -> Path:
-    """Atomically persist ``payload`` as gzip-JSON at ``path``."""
+def write_checkpoint(
+    path: Union[str, Path], payload: dict, fsync: bool = False
+) -> Path:
+    """Atomically persist ``payload`` as gzip-JSON at ``path``.
+
+    With ``fsync`` the payload is forced to disk before the rename and
+    the directory entry after it — the durability contract the audit
+    service's journal compaction relies on.  Simulation checkpoints
+    keep the cheaper default: they only guard against a crash of the
+    *process*, not of the machine.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     tmp = path.with_name(path.name + ".tmp")
     try:
         with gzip.open(tmp, "wt", encoding="utf-8") as handle:
             json.dump(payload, handle, separators=(",", ":"))
+            if fsync:
+                handle.flush()
+                os.fsync(handle.fileno())
         os.replace(tmp, path)
+        if fsync:
+            dir_fd = os.open(path.parent, os.O_RDONLY)
+            try:
+                os.fsync(dir_fd)
+            finally:
+                os.close(dir_fd)
     finally:
         if tmp.exists():
             tmp.unlink()

@@ -1,0 +1,80 @@
+"""Query-storm benchmark for the streaming audit service.
+
+One BENCH cell: bring up an in-process service (real HTTP transport,
+ephemeral port), replay a dataset through ingest, then hammer the query
+endpoints and report sustained queries/sec.  Rides along in
+``BENCH_runner.json`` next to the runner grid so throughput regressions
+of the service path are visible in the same artefact.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import threading
+import time
+from typing import Optional
+
+from ..core.audit import stream_blocks
+from ..datasets.builder import build_dataset_a
+from .client import AuditClient
+from .server import AuditService, make_http_server
+
+
+def run_service_bench(
+    scale: float = 0.2,
+    queries: int = 300,
+    queue_size: int = 64,
+    dataset=None,
+    wal_dir: Optional[str] = None,
+) -> dict:
+    """Ingest throughput + query-storm throughput of one service run."""
+    if dataset is None:
+        dataset = build_dataset_a(scale=scale)
+    with tempfile.TemporaryDirectory(dir=wal_dir) as tmp:
+        service = AuditService(
+            dataset, wal_dir=tmp, queue_size=queue_size, fsync=True
+        )
+        service.recover()
+        server = make_http_server(service)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        client = AuditClient(host, port)
+        try:
+            client.wait_ready()
+            feed = list(stream_blocks(dataset))
+            ingest_start = time.perf_counter()
+            client.stream(feed)
+            client.wait_applied(feed[-1][0])
+            ingest_seconds = time.perf_counter() - ingest_start
+
+            committed = [
+                txid
+                for txid, record in dataset.tx_records.items()
+                if record.commit_height is not None
+            ]
+            pools = [est.pool for est in dataset.hash_rates()[:4]]
+            storm_start = time.perf_counter()
+            for index in range(queries):
+                kind = index % 3
+                if kind == 0 and committed:
+                    client.query_tx(committed[index % len(committed)])
+                elif kind == 1 and pools:
+                    client.query_pool(pools[index % len(pools)])
+                else:
+                    client.status()
+            storm_seconds = time.perf_counter() - storm_start
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.stop()
+    return {
+        "benchmark": "service-query-storm",
+        "scale": scale,
+        "blocks": len(feed),
+        "ingest_seconds": round(ingest_seconds, 4),
+        "ingest_blocks_per_second": round(len(feed) / ingest_seconds, 2),
+        "queries": queries,
+        "storm_seconds": round(storm_seconds, 4),
+        "queries_per_second": round(queries / storm_seconds, 2),
+    }

@@ -15,6 +15,7 @@ contract both the Hypothesis suite and the dataset-level tests assert:
 
 from __future__ import annotations
 
+import dataclasses
 import math
 
 import numpy as np
@@ -44,6 +45,63 @@ EPSILON_GRID = (0.0, 10.0, 600.0)
 def floats_equal(a: float, b: float) -> bool:
     """Bit-level equality with NaN == NaN (degenerate SPPE)."""
     return a == b or (math.isnan(a) and math.isnan(b))
+
+
+def nan_equal(a, b) -> bool:
+    """Deep bit-for-bit equality where NaN == NaN.
+
+    Recurses through dataclasses, mappings, sequences and numpy arrays;
+    floats compare via :func:`floats_equal`.  This is the comparator the
+    streaming differential contract uses: an ``AuditReport`` full of
+    degenerate-NaN SPPE cells must still compare equal to itself.
+    """
+    if isinstance(a, float) or isinstance(b, float):
+        return (
+            isinstance(a, float)
+            and isinstance(b, float)
+            and floats_equal(a, b)
+        )
+    if dataclasses.is_dataclass(a) and not isinstance(a, type):
+        return type(a) is type(b) and all(
+            nan_equal(getattr(a, f.name), getattr(b, f.name))
+            for f in dataclasses.fields(a)
+        )
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return (
+            isinstance(a, np.ndarray)
+            and isinstance(b, np.ndarray)
+            and a.shape == b.shape
+            and a.dtype == b.dtype
+            and bool(np.array_equal(a, b, equal_nan=a.dtype.kind == "f"))
+        )
+    if isinstance(a, dict):
+        return (
+            isinstance(b, dict)
+            and list(a) == list(b)
+            and all(nan_equal(a[k], b[k]) for k in a)
+        )
+    if isinstance(a, (list, tuple)):
+        return (
+            type(a) is type(b)
+            and len(a) == len(b)
+            and all(nan_equal(x, y) for x, y in zip(a, b))
+        )
+    return a == b
+
+
+def assert_audit_reports_equal(streamed, batch) -> None:
+    """Field-by-field bit-identity of two AuditReports (NaN-tolerant).
+
+    Asserted per field so a divergence names the section that broke
+    instead of dumping two whole reports.
+    """
+    for fld in dataclasses.fields(batch):
+        a = getattr(streamed, fld.name)
+        b = getattr(batch, fld.name)
+        assert nan_equal(a, b), (
+            f"audit section {fld.name!r} diverged:\n"
+            f"  streamed={a!r}\n  batch={b!r}"
+        )
 
 
 def assert_p_close(scalar: float, vectorized: float, context: str = "") -> None:

@@ -59,6 +59,41 @@ class TestCheckpointIO:
         with pytest.raises(CheckpointError):
             load_checkpoint(path)
 
+    def test_fsync_write_roundtrips_and_is_atomic(self, tmp_path):
+        path = tmp_path / "state.ckpt.gz"
+        payload = {"version": 1, "entries": list(range(500))}
+        write_checkpoint(path, payload, fsync=True)
+        assert load_checkpoint(path) == payload
+        assert [p for p in tmp_path.iterdir()] == [path]
+
+    def test_crash_mid_write_preserves_previous_checkpoint(self, tmp_path):
+        """A torn ``.tmp`` from a mid-write crash must not be loaded.
+
+        The crash leaves the *previous* checkpoint untouched and the
+        half-written bytes under the temp name; a later writer simply
+        replaces the leftovers.
+        """
+        path = tmp_path / "state.ckpt.gz"
+        write_checkpoint(path, {"generation": 1})
+        # Simulate dying halfway through the next write: garbage .tmp.
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_bytes(b"\x1f\x8b half a gzip stream")
+        assert load_checkpoint(path) == {"generation": 1}
+        write_checkpoint(path, {"generation": 2}, fsync=True)
+        assert load_checkpoint(path) == {"generation": 2}
+        assert not tmp.exists()
+
+    def test_truncated_checkpoint_rejected_not_half_loaded(self, tmp_path):
+        """Every truncation point fails loudly — never a partial dict."""
+        path = tmp_path / "state.ckpt.gz"
+        payload = {"blocks": list(range(2000)), "rng": {"state": 12345}}
+        write_checkpoint(path, payload)
+        data = path.read_bytes()
+        for cut in (1, 10, len(data) // 2, len(data) - 1):
+            path.write_bytes(data[:cut])
+            with pytest.raises(CheckpointError):
+                load_checkpoint(path)
+
 
 class TestCheckpointConfig:
     def test_validates_every_blocks(self, tmp_path):

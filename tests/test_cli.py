@@ -195,6 +195,72 @@ class TestBench:
         assert identical["warm_vs_cold_sequential"]
 
 
+class TestRunTimeout:
+    def test_generous_timeout_output_identical(self, tmp_path, capsys):
+        bare = tmp_path / "bare.txt"
+        guarded = tmp_path / "guarded.txt"
+        common = ["run", "table5", "--scale", "0.04", "--no-cache"]
+        assert main([*common, "--out", str(bare)]) == 0
+        assert (
+            main([*common, "--timeout", "300", "--out", str(guarded)]) == 0
+        )
+        capsys.readouterr()
+        assert guarded.read_bytes() == bare.read_bytes()
+
+    def test_hung_experiment_fails_cell_not_cli(self, capsys, monkeypatch):
+        import time as time_module
+
+        from repro.analysis.experiments import ALL_RUNNERS
+
+        def hang(ctx):
+            time_module.sleep(300)
+
+        monkeypatch.setitem(ALL_RUNNERS, "table5", hang)
+        # 10s: far below the 300s hang, far above fig1's cold build
+        # even on a loaded machine.
+        code = main(
+            ["run", "table5", "fig1", "--scale", "0.04", "--no-cache",
+             "--timeout", "10"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1  # a failed cell, not a hang or a crash
+        assert "timed out after 10s (killed)" in out
+        assert "Fig 1" in out  # the healthy cell still ran
+
+
+class TestBenchServiceSuite:
+    def test_service_suite_appends_query_storm_cell(self, tmp_path, capsys):
+        out_file = tmp_path / "bench.json"
+        code = main(
+            [
+                "bench",
+                "--suite", "service",
+                "--service-scale", "0.06",
+                "--out", str(out_file),
+            ]
+        )
+        assert code == 0
+        document = json.loads(out_file.read_text())
+        cell = document["service"]
+        assert cell["benchmark"] == "service-query-storm"
+        assert cell["blocks"] > 0
+        assert cell["queries_per_second"] > 0
+        assert cell["ingest_blocks_per_second"] > 0
+
+
+class TestServe:
+    def test_missing_dataset_exits_2(self, tmp_path, capsys):
+        code = main(
+            [
+                "serve",
+                "--dataset", str(tmp_path / "nope.json.gz"),
+                "--wal-dir", str(tmp_path / "wal"),
+            ]
+        )
+        assert code == 2
+        assert "cannot load dataset" in capsys.readouterr().err
+
+
 class TestDataset:
     def test_dataset_export(self, tmp_path, capsys):
         out_file = tmp_path / "a.json.gz"

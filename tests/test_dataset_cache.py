@@ -255,6 +255,122 @@ class TestLockProtocol:
         assert not lock.exists()  # released even on the re-check path
 
 
+class TestStaleLockReclamation:
+    """Locks naming a *provably dead* PID are reclaimed after a grace.
+
+    Everything ambiguous — live PIDs, foreign text, unreadable locks —
+    is left alone; those paths stay on the wait/timeout protocol the
+    tests above pin down.
+    """
+
+    @staticmethod
+    def _dead_pid() -> int:
+        """A PID that belonged to a real process and is now free."""
+        import subprocess
+        import sys
+
+        probe = subprocess.Popen([sys.executable, "-c", "pass"])
+        probe.wait()
+        return probe.pid
+
+    def test_dead_pid_lock_reclaimed_within_grace(self, tmp_path, small):
+        cache = DatasetCache(
+            tmp_path,
+            lock_timeout=30.0,
+            poll_interval=0.01,
+            stale_lock_grace=0.05,
+        )
+        path = cache.path_for(KEY)
+        lock = path.with_name(path.name + ".lock")
+        tmp_path.mkdir(exist_ok=True)
+        lock.write_text(str(self._dead_pid()))
+
+        start = time.monotonic()
+        built = cache.get_or_build(KEY, lambda: small)
+        elapsed = time.monotonic() - start
+
+        assert built is small
+        assert cache.stats.builds == 1
+        assert cache.stats.stale_reclaims == 1
+        # Far below the 30s lock timeout: the crashed builder cost one
+        # bounded grace period, not the whole wait.
+        assert elapsed < 5.0
+        assert not lock.exists()  # re-elected builder cleaned up
+        assert path.exists()
+
+    def test_live_pid_lock_is_never_reclaimed(self, tmp_path, small):
+        import os as os_module
+
+        cache = DatasetCache(
+            tmp_path,
+            lock_timeout=0.3,
+            poll_interval=0.01,
+            stale_lock_grace=0.01,
+        )
+        path = cache.path_for(KEY)
+        lock = path.with_name(path.name + ".lock")
+        tmp_path.mkdir(exist_ok=True)
+        lock.write_text(str(os_module.getpid()))  # us: definitely alive
+
+        built = cache.get_or_build(KEY, lambda: small)
+        assert built is small  # via the timeout fallback, not reclaim
+        assert cache.stats.stale_reclaims == 0
+        assert lock.exists()  # a live holder's lock is not ours to take
+        lock.unlink()
+
+    def test_non_numeric_lock_is_never_reclaimed(self, tmp_path, small):
+        cache = DatasetCache(
+            tmp_path,
+            lock_timeout=0.3,
+            poll_interval=0.01,
+            stale_lock_grace=0.01,
+        )
+        path = cache.path_for(KEY)
+        lock = path.with_name(path.name + ".lock")
+        tmp_path.mkdir(exist_ok=True)
+        lock.write_text("some-foreign-writer")
+
+        built = cache.get_or_build(KEY, lambda: small)
+        assert built is small
+        assert cache.stats.stale_reclaims == 0
+        assert lock.exists()
+        lock.unlink()
+
+    def test_reclaim_prefers_artifact_over_rebuild(self, tmp_path, small):
+        """If the dead builder *did* finish, the waiter loads, not builds."""
+        cache = DatasetCache(
+            tmp_path, poll_interval=0.01, stale_lock_grace=0.05
+        )
+        path = cache.path_for(KEY)
+        lock = path.with_name(path.name + ".lock")
+        tmp_path.mkdir(exist_ok=True)
+        save_dataset(small, path)
+        # Artifact present but a dead lock remains: the pre-lock check
+        # hits the artifact without ever touching the lock protocol.
+        lock.write_text(str(self._dead_pid()))
+        calls = []
+        loaded = cache.get_or_build(KEY, lambda: calls.append(1) or small)
+        assert not calls
+        assert dataset_to_dict(loaded) == dataset_to_dict(small)
+
+    def test_dead_holder_detector_rules(self, tmp_path):
+        lock = tmp_path / "probe.lock"
+        lock.write_text(str(self._dead_pid()))
+        assert DatasetCache._lock_holder_dead(lock)
+        import os as os_module
+
+        lock.write_text(str(os_module.getpid()))
+        assert not DatasetCache._lock_holder_dead(lock)
+        lock.write_text("not-a-pid")
+        assert not DatasetCache._lock_holder_dead(lock)
+        lock.write_text("-5")
+        assert not DatasetCache._lock_holder_dead(lock)
+        lock.write_text("")
+        assert not DatasetCache._lock_holder_dead(lock)
+        lock.unlink()
+        assert not DatasetCache._lock_holder_dead(lock)
+
+
 class TestBuilderIntegration:
     def test_build_dataset_a_populates_and_reuses_cache(self, tmp_path):
         clear_memory_cache()

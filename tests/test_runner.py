@@ -151,6 +151,100 @@ class TestObsIntegration:
         assert snap["spans"]["engine.run"]["count"] >= 1
 
 
+def _hang_runner(ctx):
+    import time as time_module
+
+    time_module.sleep(300)
+
+
+def _dying_runner(ctx):
+    import os as os_module
+
+    os_module._exit(3)
+
+
+class TestTimeoutGuard:
+    """--timeout: a hung experiment is killed and marked failed, isolated."""
+
+    def test_run_one_kills_hung_worker(self, monkeypatch):
+        import time as time_module
+
+        monkeypatch.setitem(ALL_RUNNERS, "fig1", _hang_runner)
+        _fresh()
+        start = time_module.monotonic()
+        outcome = run_one("fig1", SCALE, timeout=1.0)
+        elapsed = time_module.monotonic() - start
+        assert not outcome.ok
+        assert "timed out after 1s (killed)" in outcome.error
+        assert elapsed < 20  # killed, not awaited
+        assert "FAILED" in outcome.report()
+
+    def test_timeout_is_counted_when_tracing(self, monkeypatch):
+        from repro import obs
+
+        monkeypatch.setitem(ALL_RUNNERS, "fig1", _hang_runner)
+        _fresh()
+        with obs.tracing(reset=True):
+            run_one("fig1", SCALE, timeout=1.0)
+            snap = obs.snapshot()
+        assert snap["counters"]["runner.experiments.timeout"] == 1
+
+    def test_worker_death_is_reported_not_hung(self, monkeypatch):
+        monkeypatch.setitem(ALL_RUNNERS, "fig1", _dying_runner)
+        _fresh()
+        outcome = run_one("fig1", SCALE, timeout=30.0)
+        assert not outcome.ok
+        assert "worker process died" in outcome.error
+
+    def test_timed_out_cell_is_isolated_in_battery(self, monkeypatch):
+        monkeypatch.setitem(ALL_RUNNERS, "table5", _hang_runner)
+        _fresh()
+        battery = run_battery(CHEAP_IDS, scale=SCALE, jobs=1, timeout=1.5)
+        by_id = {o.experiment_id: o for o in battery.outcomes}
+        assert not by_id["table5"].ok
+        assert "timed out" in by_id["table5"].error
+        # Failure isolation (PR 2 discipline): the others still ran.
+        assert by_id["fig1"].ok and by_id["fig14"].ok
+        # Report order is preserved, with the dead cell marked FAILED.
+        assert [o.experiment_id for o in battery.outcomes] == CHEAP_IDS
+        assert "table5: FAILED" in battery.report()
+
+    def test_timeout_guard_under_parallel_jobs(self, monkeypatch):
+        monkeypatch.setitem(ALL_RUNNERS, "table5", _hang_runner)
+        _fresh()
+        battery = run_battery(CHEAP_IDS, scale=SCALE, jobs=2, timeout=1.5)
+        by_id = {o.experiment_id: o for o in battery.outcomes}
+        assert not by_id["table5"].ok
+        assert "timed out" in by_id["table5"].error
+        assert by_id["fig1"].ok and by_id["fig14"].ok
+
+    def test_generous_timeout_report_identical_to_unguarded(self):
+        _fresh()
+        guarded = run_battery(["table5"], scale=SCALE, timeout=300.0)
+        _fresh()
+        bare = run_battery(["table5"], scale=SCALE)
+        assert guarded.report() == bare.report()
+        assert guarded.all_ok
+
+    def test_guarded_worker_metrics_still_merge(self, tmp_path):
+        """The watchdog child's obs delta must fold into the parent."""
+        from repro import obs
+
+        _fresh()
+        with obs.tracing(reset=True):
+            battery = run_battery(
+                ["fig5"],
+                scale=SCALE,
+                jobs=1,
+                cache_dir=tmp_path,
+                timeout=300.0,
+            )
+            snap = obs.snapshot()
+        assert battery.all_ok
+        assert snap["counters"]["runner.experiments.ok"] == 1
+        assert snap["counters"]["engine.blocks.committed"] > 0
+
+
 class TestBatteryResultShape:
     def test_all_ok_reflects_failing_checks(self):
         good = ExperimentOutcome("x", 0.1, error=None, result=None)

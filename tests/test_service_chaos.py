@@ -1,0 +1,243 @@
+"""Chaos harness: ``kill -9`` the audit service until it proves itself.
+
+The tentpole acceptance test of ISSUE 6.  A pytest supervisor runs the
+real ``repro-audit serve`` process on a fault-degraded scale-0.2
+dataset and, while a retrying client replays the chain:
+
+* ``SIGKILL``s and restarts the server at least 5 times at arbitrary
+  points (mid-append, mid-fold, mid-compaction — wherever the kill
+  lands);
+* stalls the applier (slow-consumer injection) so kills also land with
+  a non-empty ingest queue;
+* finally compares every per-txid, per-pool, and whole-audit answer
+  against the batch oracle — the answers must be *equal*, not close,
+  and must carry the degraded-quality annotation.
+
+A final gratuitous kill + replay of the whole feed then pins WAL-replay
+idempotence: re-delivering every block changes nothing.
+"""
+
+import json
+import os
+import random
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.audit import Auditor, stream_blocks
+from repro.datasets.builder import build_dataset_a
+from repro.datasets.io import load_dataset, save_dataset
+from repro.faults import FaultSchedule, degrade_dataset
+from repro.service.client import AuditClient, ServiceUnavailable
+from repro.service.server import audit_answer, pool_answer, tx_answer
+
+SCALE = 0.2
+KILL_CYCLES = 5
+
+
+@pytest.fixture(scope="module")
+def chaos_env(tmp_path_factory):
+    """Degraded dataset on disk + its batch oracle, shared per module."""
+    root = tmp_path_factory.mktemp("chaos")
+    clean = build_dataset_a(scale=SCALE)
+    degraded = degrade_dataset(
+        clean, FaultSchedule(seed=77, tx_loss_rate=0.15)
+    )
+    dataset_file = save_dataset(degraded, root / "degraded-a.json.gz")
+    # The oracle audits the *loaded-back* dataset — the exact bytes the
+    # service process will see.
+    dataset = load_dataset(dataset_file)
+    assert Auditor(dataset).quality_report().degraded
+    return root, dataset_file, dataset
+
+
+def _free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+class ServeProcess:
+    """Supervisor handle for one ``repro-audit serve`` subprocess."""
+
+    def __init__(self, dataset_file: Path, wal_dir: Path, port: int) -> None:
+        self.dataset_file = dataset_file
+        self.wal_dir = wal_dir
+        self.port = port
+        self.process = None
+        self.restarts = 0
+
+    def start(self) -> None:
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        self.process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "serve",
+                "--dataset",
+                str(self.dataset_file),
+                "--wal-dir",
+                str(self.wal_dir),
+                "--port",
+                str(self.port),
+                "--queue-size",
+                "8",
+                "--checkpoint-every",
+                "16",
+            ],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+
+    def kill9(self) -> None:
+        self.process.send_signal(signal.SIGKILL)
+        self.process.wait()
+
+    def restart(self) -> None:
+        self.kill9()
+        self.start()
+        self.restarts += 1
+
+    def stop(self) -> None:
+        if self.process and self.process.poll() is None:
+            self.process.terminate()
+            try:
+                self.process.wait(timeout=10)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                self.process.kill()
+                self.process.wait()
+
+
+@pytest.fixture()
+def supervisor(chaos_env, tmp_path):
+    _, dataset_file, _ = chaos_env
+    proc = ServeProcess(dataset_file, tmp_path / "wal", _free_port())
+    proc.start()
+    try:
+        yield proc
+    finally:
+        proc.stop()
+
+
+def _assert_answers_match_oracle(client, dataset, sample=40):
+    """Service answers == batch-oracle answers, JSON-canonically."""
+    oracle = Auditor(dataset)
+    rng = random.Random(4)
+    committed = sorted(
+        t
+        for t, r in dataset.tx_records.items()
+        if r.commit_height is not None
+    )
+    observed_only = sorted(
+        t
+        for t, r in dataset.tx_records.items()
+        if r.commit_height is None
+    )
+    txids = rng.sample(committed, min(sample, len(committed)))
+    txids += observed_only[:3] + ["never-seen-txid"]
+    for txid in txids:
+        got = client.query_tx(txid)
+        assert got["answer"] == json.loads(
+            json.dumps(tx_answer(oracle, txid))
+        ), f"tx answer diverged for {txid}"
+        assert got["annotation"]["quality"]["degraded"] is True
+
+    for estimate in dataset.hash_rates():
+        got = client.query_pool(estimate.pool)
+        assert got["answer"] == json.loads(
+            json.dumps(pool_answer(oracle, estimate.pool))
+        ), f"pool answer diverged for {estimate.pool}"
+        assert got["annotation"]["quality"]["degraded"] is True
+
+    got = client.audit()
+    assert got["answer"] == json.loads(json.dumps(audit_answer(oracle)))
+    assert got["annotation"]["quality"]["degraded"] is True
+
+
+class TestChaos:
+    def test_killed_restarted_service_converges_to_batch_oracle(
+        self, chaos_env, supervisor
+    ):
+        _, _, dataset = chaos_env
+        feed = list(stream_blocks(dataset))
+        final_height = feed[-1][0]
+        client = AuditClient("127.0.0.1", supervisor.port, max_retries=80)
+        client.wait_ready()
+
+        stream_error = []
+
+        def pump():
+            """client.stream with a trickle delay so the chaos cycles
+            land *mid-stream*, not after a too-fast replay finished."""
+            try:
+                by_height = {h: (h, p, b) for h, p, b in feed}
+                cursor, last = feed[0][0], feed[-1][0]
+                while cursor <= last:
+                    height, pool, block = by_height[cursor]
+                    answer = client.ingest(height, pool, block)
+                    if answer.get("status") == "gap":
+                        cursor = max(answer["expected_height"], feed[0][0])
+                        continue
+                    cursor += 1
+                    time.sleep(0.01)
+            except Exception as exc:  # surfaced below, not swallowed
+                stream_error.append(exc)
+
+        pumper = threading.Thread(target=pump)
+        pumper.start()
+
+        rng = random.Random(1337)
+        control = AuditClient("127.0.0.1", supervisor.port, max_retries=5)
+        for cycle in range(KILL_CYCLES):
+            time.sleep(rng.uniform(0.15, 0.6))
+            if rng.random() < 0.5:
+                # Slow-consumer injection: stall the applier so the
+                # queue is non-empty when the kill lands.
+                try:
+                    control.request("POST", "/control/pause")
+                    time.sleep(rng.uniform(0.05, 0.2))
+                except ServiceUnavailable:  # pragma: no cover - timing
+                    pass
+            supervisor.restart()
+
+        pumper.join(timeout=180)
+        assert not pumper.is_alive(), "stream never completed"
+        if stream_error:
+            raise stream_error[0]
+        assert supervisor.restarts >= KILL_CYCLES
+
+        client.wait_applied(final_height, deadline_seconds=120)
+        _assert_answers_match_oracle(client, dataset)
+
+    def test_replay_after_final_kill_is_idempotent(
+        self, chaos_env, supervisor
+    ):
+        """Full re-delivery of the feed changes no answer (WAL replay)."""
+        _, _, dataset = chaos_env
+        feed = list(stream_blocks(dataset))
+        client = AuditClient("127.0.0.1", supervisor.port)
+        client.wait_ready()
+        client.stream(feed)
+        client.wait_applied(feed[-1][0], deadline_seconds=120)
+        before = client.audit()
+
+        supervisor.restart()
+        client.wait_ready()
+        # Re-deliver everything: every block is a duplicate or a gap
+        # resync; none may fold twice.
+        client.stream(feed)
+        status = client.wait_applied(feed[-1][0], deadline_seconds=120)
+        assert status["applied_height"] == feed[-1][0]
+        after = client.audit()
+        assert after["answer"] == before["answer"]
+        _assert_answers_match_oracle(client, dataset, sample=10)

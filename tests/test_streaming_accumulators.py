@@ -1,0 +1,168 @@
+"""Unit tests: incremental accumulators fold to the batch quantities.
+
+The full audit-level equivalence lives in
+``tests/test_streaming_differential.py``; these tests pin each
+accumulator *individually* against the batch function it replaces, so a
+divergence localises to one accumulator instead of one giant report
+diff.
+"""
+
+import numpy as np
+import pytest
+
+from repro.chain.attribution import estimate_hash_rates
+from repro.chain.blockchain import ChainValidationError
+from repro.core.audit import Auditor, StreamingAuditor, stream_blocks
+from repro.core.ppe import (
+    PpeAccumulator,
+    block_ppe,
+    chain_ppe,
+    sppe,
+    summarize_ppe,
+)
+from repro.core.stattests import PrioritizationAccumulator
+from repro.core.violations import (
+    ViolationAccumulator,
+    analyze_snapshot,
+    build_snapshot_view,
+)
+from tests.oracle import floats_equal, nan_equal
+
+
+@pytest.fixture(scope="module")
+def folded(small_dataset_a):
+    """Every accumulator folded over dataset A's chain, in order."""
+    ppe_acc = PpeAccumulator()
+    vio_acc = ViolationAccumulator()
+    prio_acc = PrioritizationAccumulator()
+    for height, pool, block in stream_blocks(small_dataset_a):
+        ppe_acc.fold(block, pool=pool)
+        vio_acc.fold(block)
+        prio_acc.fold(height, pool)
+    return ppe_acc, vio_acc, prio_acc
+
+
+class TestPpeAccumulator:
+    def test_results_match_per_block_ppe(self, small_dataset_a, folded):
+        ppe_acc, _, _ = folded
+        batch = [block_ppe(b) for b in small_dataset_a.chain]
+        batch = [r for r in batch if r is not None]
+        assert ppe_acc.results == batch
+
+    def test_summary_matches_chain_ppe(self, small_dataset_a, folded):
+        ppe_acc, _, _ = folded
+        batch = chain_ppe(small_dataset_a.chain)
+        assert ppe_acc.results == batch
+        assert ppe_acc.summary() == summarize_ppe(batch)
+
+    def test_by_pool_matches_batch_auditor(self, small_dataset_a, folded):
+        ppe_acc, _, _ = folded
+        auditor = Auditor(small_dataset_a)
+        pools = sorted(ppe_acc.by_pool)
+        assert ppe_acc.by_pool == auditor.ppe_by_pool(pools)
+
+    def test_sppe_matches_batch_sppe(self, small_dataset_a, folded):
+        ppe_acc, _, _ = folded
+        pool = small_dataset_a.hash_rates()[0].pool
+        txids = small_dataset_a.inferred_self_interest_txids_indexed(pool)
+        streamed = ppe_acc.sppe(pool, txids)
+        batch = sppe(small_dataset_a.blocks_of(pool), txids)
+        assert nan_equal(streamed, batch)
+
+    def test_block_count_tracks_folds(self, small_dataset_a, folded):
+        ppe_acc, _, _ = folded
+        assert ppe_acc.block_count == len(small_dataset_a.chain)
+
+
+class TestViolationAccumulator:
+    def test_commit_heights_cover_every_record(self, small_dataset_a, folded):
+        _, vio_acc, _ = folded
+        # The accumulator sees every chain tx (a superset of the record
+        # join); on the observed side both agree exactly.
+        batch = small_dataset_a.commit_heights()
+        for txid, height in batch.items():
+            assert vio_acc.commit_heights[txid] == height
+
+    def test_cpfp_txids_match_dataset(self, small_dataset_a, folded):
+        _, vio_acc, _ = folded
+        assert vio_acc.cpfp_txids == set(small_dataset_a.cpfp_txids())
+
+    def test_heights_of_matches_record_heights(self, small_dataset_a, folded):
+        _, vio_acc, _ = folded
+        committed = [
+            txid
+            for txid, record in small_dataset_a.tx_records.items()
+            if record.commit_height is not None
+        ][:25]
+        expected = {
+            small_dataset_a.tx_records[t].commit_height for t in committed
+        }
+        assert vio_acc.heights_of(committed) == expected
+
+    def test_snapshot_analysis_matches_batch(self, small_dataset_a, folded):
+        _, vio_acc, _ = folded
+        rng = np.random.default_rng(30)
+        snapshots = small_dataset_a.snapshots.sample(5, rng)
+        commit_heights = small_dataset_a.commit_heights()
+        cpfp = small_dataset_a.cpfp_txids()
+        for snapshot in snapshots:
+            streamed = vio_acc.analyze(snapshot, epsilon=0.0)
+            batch = analyze_snapshot(
+                build_snapshot_view(snapshot, commit_heights, cpfp), 0.0
+            )
+            assert streamed == batch
+
+
+class TestPrioritizationAccumulator:
+    def test_labels_reproduce_hash_rates(self, small_dataset_a, folded):
+        _, _, prio_acc = folded
+        assert estimate_hash_rates(prio_acc.labels) == (
+            small_dataset_a.hash_rates()
+        )
+
+    def test_share_matches_dataset(self, small_dataset_a, folded):
+        _, _, prio_acc = folded
+        for est in small_dataset_a.hash_rates():
+            assert floats_equal(
+                prio_acc.share(est.pool),
+                small_dataset_a.hash_rate_of(est.pool),
+            )
+
+    def test_test_for_matches_batch_auditor(self, small_dataset_a, folded):
+        _, vio_acc, prio_acc = folded
+        auditor = Auditor(small_dataset_a)
+        for est in small_dataset_a.hash_rates()[:4]:
+            txids = small_dataset_a.inferred_self_interest_txids_indexed(
+                est.pool
+            )
+            streamed = prio_acc.test_for(
+                est.pool, vio_acc.heights_of(txids)
+            )
+            assert streamed == auditor.prioritization_test_for(
+                est.pool, txids
+            )
+
+
+class TestStreamingAuditorFolding:
+    def test_heights_advance_one_block_at_a_time(self, small_dataset_a):
+        streaming = StreamingAuditor.from_dataset(small_dataset_a)
+        assert streaming.applied_height == -1
+        for height, pool, block in stream_blocks(small_dataset_a):
+            assert streaming.expected_height == height
+            streaming.fold_block(block, pool)
+            assert streaming.applied_height == height
+
+    def test_out_of_order_fold_rejected(self, small_dataset_a):
+        streaming = StreamingAuditor.from_dataset(small_dataset_a)
+        feed = list(stream_blocks(small_dataset_a))
+        _, _, second = feed[1]
+        with pytest.raises(ChainValidationError):
+            streaming.fold_block(second, "whoever")
+
+    def test_stream_blocks_is_chain_ordered(self, small_dataset_a):
+        feed = list(stream_blocks(small_dataset_a))
+        assert [h for h, _, _ in feed] == [
+            b.height for b in small_dataset_a.chain
+        ]
+        for height, pool, _ in feed:
+            assert pool == small_dataset_a.block_pools.get(height, "unknown")
