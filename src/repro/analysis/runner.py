@@ -23,6 +23,7 @@ cache directories and returns the measurements as a JSON-ready dict
 
 from __future__ import annotations
 
+import json
 import math
 import multiprocessing
 import os
@@ -472,6 +473,121 @@ def _rows_equal(scalar_rows, fast_rows) -> bool:
         ):
             return False
     return True
+
+
+# ----------------------------------------------------------------------
+# Scalar-vs-vectorized engine (block production) benchmark
+# ----------------------------------------------------------------------
+#: The engine-vectorization acceptance gate: the fast path must produce
+#: blocks at least this many times faster than the scalar oracle on the
+#: dataset-C analogue.  Applied only at ``scale >= ENGINE_GATE_SCALE`` —
+#: below that, fixed per-run overhead (array packing, policy
+#: compilation) dominates and the ratio is not meaningful.
+ENGINE_GATE_SPEEDUP = 10.0
+ENGINE_GATE_SCALE = 0.3
+ENGINE_GATE_DATASET = "dataset-C"
+
+
+def _serialize_observers(result) -> dict[str, str]:
+    """Canonical JSON blob per observer — the byte-identity artefacts."""
+    from ..datasets.io import dataset_to_dict
+
+    return {
+        name: json.dumps(
+            dataset_to_dict(dataset), separators=(",", ":"), sort_keys=True
+        )
+        for name, dataset in sorted(result.datasets_by_observer.items())
+    }
+
+
+def _engine_run(factory, repeats: int) -> tuple[float, dict, dict[str, str]]:
+    """Best-of-``repeats`` block-production seconds for one engine mode.
+
+    Production time is the ``engine.run`` span minus the ``engine.curate``
+    span: admission, template building, the mining race and chain append
+    — excluding dataset curation, which is identical in both modes.
+    Returns (best seconds, counters from the best run, observer blobs).
+    """
+    best = math.inf
+    counters: dict = {}
+    blobs: dict[str, str] = {}
+    for _ in range(max(repeats, 1)):
+        with obs.tracing(reset=True):
+            result = factory().run()
+            snapshot = obs.snapshot()
+        spans = snapshot.get("spans", {})
+        production = spans.get("engine.run", {}).get(
+            "total_seconds", 0.0
+        ) - spans.get("engine.curate", {}).get("total_seconds", 0.0)
+        if production < best:
+            best = production
+            counters = snapshot.get("counters", {})
+        blobs = _serialize_observers(result)
+    return best, counters, blobs
+
+
+def run_engine_bench(scale: float = ENGINE_GATE_SCALE, repeats: int = 2) -> dict:
+    """Time the scalar engine loop against the vectorized fast path.
+
+    Runs the dataset-A and dataset-C scenario analogues at ``scale`` in
+    both modes (``REPRO_AUDIT_SCALAR=1`` vs the default fast path) and
+    reports best-of-``repeats`` block-production times.  Two gates:
+
+    * **byte identity** (always): every observer's serialized dataset
+      must match between the modes, cell by cell;
+    * **speedup** (only when ``scale >= ENGINE_GATE_SCALE``): dataset C
+      must clear :data:`ENGINE_GATE_SPEEDUP` on production time.
+    """
+    from ..simulation.scenarios import dataset_a_scenario, dataset_c_scenario
+
+    factories = {
+        "dataset-A": lambda: dataset_a_scenario(scale=scale),
+        "dataset-C": lambda: dataset_c_scenario(scale=scale),
+    }
+    cells: dict[str, dict] = {}
+    for name, factory in factories.items():
+        with _scalar_env(True):
+            scalar_seconds, _, scalar_blobs = _engine_run(factory, repeats)
+        with _scalar_env(False):
+            fast_seconds, counters, fast_blobs = _engine_run(factory, repeats)
+        blocks = int(counters.get("engine.blocks.committed", 0))
+        cells[name] = {
+            "scalar_production_seconds": round(scalar_seconds, 4),
+            "fast_production_seconds": round(fast_seconds, 4),
+            "speedup": round(scalar_seconds / max(fast_seconds, 1e-9), 2),
+            "identical": scalar_blobs == fast_blobs,
+            "blocks_committed": blocks,
+            "fast_blocks_per_second": round(
+                blocks / max(fast_seconds, 1e-9), 2
+            ),
+            "scalar_blocks_per_second": round(
+                blocks / max(scalar_seconds, 1e-9), 2
+            ),
+            "fast_path_engaged": (
+                counters.get("engine.fast.pools_compiled", 0) > 0
+                and counters.get("engine.fast.pools_fallback", 0) == 0
+            ),
+        }
+    gate_applies = scale >= ENGINE_GATE_SCALE
+    return {
+        "benchmark": "engine",
+        "scale": scale,
+        "repeats": repeats,
+        "cells": cells,
+        "gate": {
+            "dataset": ENGINE_GATE_DATASET,
+            "min_speedup": ENGINE_GATE_SPEEDUP,
+            "applies": gate_applies,
+        },
+        "all_identical": all(c["identical"] for c in cells.values()),
+        "all_fast_path_engaged": all(
+            c["fast_path_engaged"] for c in cells.values()
+        ),
+        "speedup_ok": (
+            not gate_applies
+            or cells[ENGINE_GATE_DATASET]["speedup"] >= ENGINE_GATE_SPEEDUP
+        ),
+    }
 
 
 def run_metrics_bench(

@@ -25,11 +25,12 @@ def merkle_root(txids: Sequence[str]) -> str:
     if not txids:
         return hashlib.sha256(b"").hexdigest()
     level = [txid.encode("ascii") for txid in txids]
+    sha256 = hashlib.sha256
     while len(level) > 1:
         if len(level) % 2 == 1:
             level.append(level[-1])
         level = [
-            hashlib.sha256(level[i] + level[i + 1]).digest().hex().encode("ascii")
+            sha256(level[i] + level[i + 1]).hexdigest().encode("ascii")
             for i in range(0, len(level), 2)
         ]
     return level[0].decode("ascii")
@@ -78,11 +79,13 @@ class Block:
             raise ValueError(
                 f"block vsize {vsize} exceeds the {MAX_BLOCK_VSIZE} vB limit"
             )
-        seen: set[str] = set()
-        for tx in self.transactions:
-            if tx.txid in seen:
-                raise ValueError(f"duplicate transaction {tx.txid} in block")
-            seen.add(tx.txid)
+        txids = [tx.txid for tx in self.transactions]
+        if len(set(txids)) != len(txids):
+            seen: set[str] = set()
+            for txid in txids:
+                if txid in seen:
+                    raise ValueError(f"duplicate transaction {txid} in block")
+                seen.add(txid)
 
     @property
     def height(self) -> int:

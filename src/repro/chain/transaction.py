@@ -12,12 +12,17 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import NamedTuple, Optional, Sequence
 
 
-@dataclass(frozen=True)
-class OutPoint:
-    """Reference to a specific output of a prior transaction."""
+class OutPoint(NamedTuple):
+    """Reference to a specific output of a prior transaction.
+
+    A NamedTuple rather than a frozen dataclass: outpoints key every
+    spent-output dict in the mempool, the chain, and the engines, and
+    tuple hashing runs in C where the generated dataclass ``__hash__``
+    pays a python call per lookup.
+    """
 
     txid: str
     index: int

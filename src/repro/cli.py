@@ -136,16 +136,25 @@ def _build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument(
         "--suite",
         default="runner",
-        help="comma-separated subset of {runner, metrics, service}, or "
-        "'full' for all of them: 'runner' times the experiment battery "
-        "grid, 'metrics' the scalar-vs-vectorized audit kernels, "
-        "'service' the streaming audit service query storm",
+        help="comma-separated subset of {runner, metrics, service, "
+        "engine}, or 'full' for all of them: 'runner' times the "
+        "experiment battery grid, 'metrics' the scalar-vs-vectorized "
+        "audit kernels, 'service' the streaming audit service query "
+        "storm, 'engine' the scalar-vs-vectorized block-production loop",
     )
     bench_parser.add_argument(
         "--metrics-scale",
         type=float,
         default=0.3,
         help="dataset scale for the metrics suite (default 0.3)",
+    )
+    bench_parser.add_argument(
+        "--engine-scale",
+        type=float,
+        default=0.3,
+        help="dataset scale for the engine suite (default 0.3, where "
+        "the dataset-C speedup gate applies; smaller scales only check "
+        "byte identity)",
     )
     bench_parser.add_argument(
         "--service-scale",
@@ -364,9 +373,9 @@ def _run_command(args: argparse.Namespace) -> int:
 
 
 def _bench_command(args: argparse.Namespace) -> int:
-    from .analysis.runner import run_bench, run_metrics_bench
+    from .analysis.runner import run_bench, run_engine_bench, run_metrics_bench
 
-    known = {"runner", "metrics", "service"}
+    known = {"runner", "metrics", "service", "engine"}
     suites = (
         set(known)
         if args.suite == "full"
@@ -401,6 +410,29 @@ def _bench_command(args: argparse.Namespace) -> int:
         if not metrics["vectorized_never_slower"]:
             print(
                 "FAIL: vectorized path slower than the scalar oracle",
+                file=sys.stderr,
+            )
+            exit_code = 1
+    if "engine" in suites:
+        engine = run_engine_bench(scale=args.engine_scale)
+        document["engine"] = engine
+        if not engine["all_identical"]:
+            print(
+                "FAIL: fast engine datasets differ from the scalar oracle",
+                file=sys.stderr,
+            )
+            exit_code = 1
+        if not engine["all_fast_path_engaged"]:
+            print(
+                "FAIL: the fast engine path fell back to the scalar loop",
+                file=sys.stderr,
+            )
+            exit_code = 1
+        if not engine["speedup_ok"]:
+            print(
+                "FAIL: fast engine below the dataset-C speedup gate "
+                f"({engine['cells']['dataset-C']['speedup']}x < "
+                f"{engine['gate']['min_speedup']}x)",
                 file=sys.stderr,
             )
             exit_code = 1

@@ -20,6 +20,7 @@ from typing import Iterable, Mapping, Sequence
 
 from ..chain.block import Block
 from ..chain.transaction import Transaction
+from .feerate import fee_rate_rank
 
 
 @dataclass(frozen=True)
@@ -33,8 +34,27 @@ class PackageStats:
 
     @property
     def package_fee_rate(self) -> float:
-        """The ancestor fee-rate Bitcoin Core's assembler sorts by."""
+        """The ancestor fee-rate Bitcoin Core's assembler sorts by.
+
+        A float, so fit only for display and tolerant comparisons —
+        ranking must go through :attr:`package_rank`, which survives the
+        rationals that collide in float64.
+        """
         return self.package_fee / self.package_vsize
+
+    @property
+    def package_rank(self) -> int:
+        """Exact integer ordering key for the package fee-rate.
+
+        Equivalent to comparing packages by integer cross-multiplication
+        (``fee_a * vsize_b`` vs ``fee_b * vsize_a``); see
+        :func:`repro.mempool.feerate.fee_rate_rank`.
+        """
+        return fee_rate_rank(self.package_fee, self.package_vsize)
+
+    def outranks(self, other: "PackageStats") -> bool:
+        """True when this package pays a strictly higher exact fee-rate."""
+        return self.package_rank > other.package_rank
 
     @property
     def ancestor_count(self) -> int:
@@ -50,17 +70,38 @@ class AncestryIndex:
 
     def __init__(self, transactions: Iterable[Transaction] = ()) -> None:
         self._txs: dict[str, Transaction] = {}
+        # Reverse index: parent txid -> tracked txids spending it.  Keys
+        # may name parents that are not (or not yet) tracked themselves;
+        # queries intersect with the tracked set implicitly because only
+        # tracked children are ever inserted.
         self._children: dict[str, set[str]] = {}
         for tx in transactions:
             self.add(tx)
 
     def add(self, tx: Transaction) -> None:
         """Track ``tx``; parent links resolve lazily at query time."""
+        existing = self._txs.get(tx.txid)
+        if existing is not None and existing.parent_txids != tx.parent_txids:
+            # Re-adding under the same txid with different parents:
+            # drop the stale reverse edges before indexing the new ones.
+            self._unlink(existing)
         self._txs[tx.txid] = tx
+        for parent in tx.parent_txids:
+            self._children.setdefault(parent, set()).add(tx.txid)
 
     def remove(self, txid: str) -> None:
         """Stop tracking ``txid`` (e.g. it was committed)."""
-        self._txs.pop(txid, None)
+        tx = self._txs.pop(txid, None)
+        if tx is not None:
+            self._unlink(tx)
+
+    def _unlink(self, tx: Transaction) -> None:
+        for parent in tx.parent_txids:
+            children = self._children.get(parent)
+            if children is not None:
+                children.discard(tx.txid)
+                if not children:
+                    del self._children[parent]
 
     def __contains__(self, txid: str) -> bool:
         return txid in self._txs
@@ -76,7 +117,17 @@ class AncestryIndex:
         return frozenset(p for p in tx.parent_txids if p in self._txs)
 
     def children_of(self, txid: str) -> frozenset[str]:
-        """In-set children of ``txid`` (computed by scan; O(n))."""
+        """In-set children of ``txid`` (incremental reverse index; O(k)).
+
+        Previously recomputed by an O(n) scan over every tracked
+        transaction on each call, which made descendant walks quadratic;
+        the reverse index is maintained by :meth:`add`/:meth:`remove`
+        and cross-checked against the scan in a property test.
+        """
+        return frozenset(self._children.get(txid, ()))
+
+    def children_of_by_scan(self, txid: str) -> frozenset[str]:
+        """The pre-index O(n) computation, kept as the test oracle."""
         return frozenset(
             tx.txid for tx in self._txs.values() if txid in tx.parent_txids
         )

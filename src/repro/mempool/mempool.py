@@ -18,6 +18,7 @@ from .. import obs
 from ..chain.constants import DEFAULT_MIN_RELAY_FEE_RATE
 from ..chain.transaction import Transaction
 from ..obs.invariants import InvariantViolation, invariants_enabled
+from .feerate import fee_rate_at_least, fee_rate_exceeds, fee_rate_rank
 
 
 @dataclass(frozen=True)
@@ -121,12 +122,23 @@ class Mempool:
         return conflicting
 
     def _rbf_acceptable(self, tx: Transaction, conflicts: list[str]) -> bool:
-        """Simplified BIP-125: pay more total fee AND a higher fee-rate."""
+        """Simplified BIP-125: pay more total fee AND a higher fee-rate.
+
+        The rate comparison is exact (integer cross-multiplication, see
+        :mod:`repro.mempool.feerate`) so a replacement race cannot hinge
+        on float rounding of near-tie fee-rates.
+        """
         if not self.allow_rbf:
             return False
         displaced_fee = sum(self._entries[c].tx.fee for c in conflicts)
-        displaced_rate = max(self._entries[c].fee_rate for c in conflicts)
-        return tx.fee > displaced_fee and tx.fee_rate > displaced_rate
+        if tx.fee <= displaced_fee:
+            return False
+        return all(
+            fee_rate_exceeds(
+                tx.fee, tx.vsize, self._entries[c].tx.fee, self._entries[c].vsize
+            )
+            for c in conflicts
+        )
 
     def offer(self, tx: Transaction, now: float) -> AdmissionResult:
         """Apply admission policy and insert ``tx`` if it passes.
@@ -199,14 +211,14 @@ class Mempool:
             return []
         cheapest_first = sorted(
             (e for e in self._entries.values() if e.txid not in exclude),
-            key=lambda e: (e.fee_rate, -e.arrival_time),
+            key=lambda e: (fee_rate_rank(e.tx.fee, e.vsize), -e.arrival_time),
         )
         evicted: list[str] = []
         freed = 0
         for entry in cheapest_first:
             if freed >= needed:
                 break
-            if entry.fee_rate >= tx.fee_rate:
+            if fee_rate_at_least(entry.tx.fee, entry.vsize, tx.fee, tx.vsize):
                 return None  # would displace better-paying traffic
             evicted.append(entry.txid)
             freed += entry.vsize

@@ -24,7 +24,26 @@ from typing import Optional, Sequence
 from .. import obs
 from ..chain.constants import MAX_BLOCK_VSIZE
 from ..chain.transaction import Transaction
+from ..mempool.feerate import fee_rate_rank
 from ..mempool.mempool import MempoolEntry
+
+
+class TemplateBudgetError(ValueError):
+    """The reserved vsize exceeds the block's vsize budget.
+
+    A builder handed ``reserved_vsize > max_vsize`` would otherwise fill
+    against a *negative* budget — every candidate "doesn't fit", the
+    template comes out silently empty, and the misconfiguration hides
+    behind a plausible-looking block.  Both builders raise instead.
+    """
+
+
+def _check_budget(max_vsize: int, reserved_vsize: int) -> int:
+    if reserved_vsize > max_vsize:
+        raise TemplateBudgetError(
+            f"reserved_vsize {reserved_vsize} exceeds max_vsize {max_vsize}"
+        )
+    return max_vsize - reserved_vsize
 
 
 @dataclass(frozen=True)
@@ -42,9 +61,19 @@ class BlockTemplate:
         return [tx.txid for tx in self.transactions]
 
 
-def _fee_rate_key(entry: MempoolEntry) -> tuple[float, float, str]:
-    """Descending fee-rate; ties by arrival then txid (deterministic)."""
-    return (-entry.fee_rate, entry.arrival_time, entry.txid)
+def _fee_rate_key(entry: MempoolEntry) -> tuple[int, float, str]:
+    """Descending fee-rate; ties by arrival then txid (deterministic).
+
+    The rate component is the *exact* integer rank, not the float
+    quotient: two distinct rationals that collide in float64 would
+    otherwise fall through to the tie-break keys and order differently
+    than cross-multiplication says they should.
+    """
+    return (
+        -fee_rate_rank(entry.tx.fee, entry.vsize),
+        entry.arrival_time,
+        entry.txid,
+    )
 
 
 def greedy_feerate_template(
@@ -61,7 +90,7 @@ def greedy_feerate_template(
     ``reserved_vsize`` accounts for the coinbase.
     """
     with obs.span("gbt.greedy_template"):
-        budget = max_vsize - reserved_vsize
+        budget = _check_budget(max_vsize, reserved_vsize)
         chosen: list[Transaction] = []
         used = 0
         fee = 0
@@ -102,7 +131,7 @@ def _ancestor_package_template(
     max_vsize: int,
     reserved_vsize: int,
 ) -> BlockTemplate:
-    budget = max_vsize - reserved_vsize
+    budget = _check_budget(max_vsize, reserved_vsize)
     by_txid = {entry.txid: entry for entry in entries}
 
     # Precompute, once, the in-set parent links and full ancestor sets.
@@ -150,7 +179,10 @@ def _ancestor_package_template(
         pkg_vsize = sum(by_txid[t].vsize for t in members)
         return members, pkg_fee, pkg_vsize
 
-    heap: list[tuple[float, float, str]] = []
+    # Heap keys use the exact integer rank (see repro.mempool.feerate):
+    # float package rates can collide for distinct rationals, making pop
+    # order — and hence the block — depend on tie-break keys.
+    heap: list[tuple[int, float, str]] = []
     for entry in entries:
         anc = ancestors_of(entry.txid)
         if anc:
@@ -159,10 +191,13 @@ def _ancestor_package_template(
         else:
             pkg_fee = entry.tx.fee
             pkg_vsize = entry.vsize
-        heapq.heappush(heap, (-pkg_fee / pkg_vsize, entry.arrival_time, entry.txid))
+        heapq.heappush(
+            heap,
+            (-fee_rate_rank(pkg_fee, pkg_vsize), entry.arrival_time, entry.txid),
+        )
 
     while heap:
-        neg_rate, arrival, txid = heapq.heappop(heap)
+        neg_rank, arrival, txid = heapq.heappop(heap)
         if txid in selected:
             continue
         if not ancestors_of(txid):
@@ -176,12 +211,12 @@ def _ancestor_package_template(
             fee += entry.tx.fee
             continue
         members, pkg_fee, pkg_vsize = package_of(txid)
-        current_rate = pkg_fee / pkg_vsize
-        if -neg_rate - current_rate > 1e-12:
+        current_key = -fee_rate_rank(pkg_fee, pkg_vsize)
+        if current_key != neg_rank:
             # Stale score (an ancestor got selected via another package);
             # re-queue at the fresh, higher rate.
             obs.counter("gbt.packages.rescored")
-            heapq.heappush(heap, (-current_rate, arrival, txid))
+            heapq.heappush(heap, (current_key, arrival, txid))
             continue
         if used + pkg_vsize > budget:
             continue

@@ -27,9 +27,11 @@ import numpy as np
 
 from ..chain.constants import MAX_BLOCK_VSIZE
 from ..chain.transaction import Transaction
+from ..mempool.feerate import fee_rate_rank
 from ..mempool.mempool import MempoolEntry
 from .gbt import (
     BlockTemplate,
+    _check_budget,
     ancestor_package_template,
     greedy_feerate_template,
     repair_topological_order,
@@ -160,9 +162,17 @@ class PrioritizeSetPolicy:
             eligible = self.boost
         boosted = [e for e in entries if eligible(e)]
         rest = [e for e in entries if not eligible(e)]
-        boosted.sort(key=lambda e: (-e.fee_rate, e.arrival_time, e.txid))
+        # Exact rate ranking (see repro.mempool.feerate): float rates
+        # can collide for distinct rationals and scramble the head.
+        boosted.sort(
+            key=lambda e: (
+                -fee_rate_rank(e.tx.fee, e.vsize),
+                e.arrival_time,
+                e.txid,
+            )
+        )
 
-        budget = max_vsize - reserved_vsize
+        budget = _check_budget(max_vsize, reserved_vsize)
         head: list[Transaction] = []
         used = 0
         fee = 0
@@ -248,19 +258,32 @@ class NoisyPolicy:
         reserved_vsize: int = 0,
     ) -> BlockTemplate:
         template = self.base.build(entries, max_vsize, reserved_vsize)
-        txs = list(template.transactions)
-        if len(txs) > 2 and self.jitter > 0:
-            rng = self.base_jitter_source.rng
-            keys = rng.uniform(-self.jitter, self.jitter, size=len(txs)) + np.arange(
-                len(txs)
-            )
-            txs = [txs[i] for i in np.argsort(keys, kind="stable")]
-            txs = repair_topological_order(txs)
+        txs = perturb_template_order(
+            list(template.transactions), self.base_jitter_source.rng, self.jitter
+        )
         return BlockTemplate(
             tuple(txs),
             total_fee=template.total_fee,
             total_vsize=template.total_vsize,
         )
+
+
+def perturb_template_order(
+    txs: list[Transaction], rng: "object", jitter: float
+) -> list[Transaction]:
+    """Apply :class:`NoisyPolicy`'s rank perturbation to a built template.
+
+    Factored out so the vectorized engine path can replay *exactly* the
+    same RNG consumption and reordering as the scalar policy stack: the
+    uniform draw happens only for templates longer than two entries and
+    positive jitter, and the stable argsort plus topological repair are
+    shared code, not re-implementations.
+    """
+    if len(txs) > 2 and jitter > 0:
+        keys = rng.uniform(-jitter, jitter, size=len(txs)) + np.arange(len(txs))
+        txs = [txs[i] for i in np.argsort(keys, kind="stable")]
+        txs = repair_topological_order(txs)
+    return txs
 
 
 @dataclass
@@ -274,33 +297,66 @@ class JitterSource:
     rng: "object"
 
 
-def txid_set_predicate(txids: Callable[[], frozenset[str]]) -> EntryPredicate:
-    """Predicate matching entries whose txid is in a (live) set.
+# ----------------------------------------------------------------------
+# Predicates
+# ----------------------------------------------------------------------
+# Predicates are *introspectable* callables rather than anonymous
+# closures: the vectorized engine's policy compiler pattern-matches on
+# their type and fields to turn a policy stack into array programs, and
+# falls back to calling them entry-by-entry when it cannot.
+
+
+@dataclass(frozen=True)
+class TxidSetPredicate:
+    """Matches entries whose txid is in a (live) set.
 
     ``txids`` is a callable so the set can grow during the simulation —
     e.g. an acceleration service's order book.
     """
 
-    def matches(entry: MempoolEntry) -> bool:
-        return entry.txid in txids()
+    txids: Callable[[], frozenset[str]]
 
-    return matches
+    def __call__(self, entry: MempoolEntry) -> bool:
+        return entry.txid in self.txids()
 
 
-def address_predicate(
-    addresses: frozenset[str], resolver: Optional[Callable[[Transaction], frozenset[str]]] = None
-) -> EntryPredicate:
-    """Predicate matching entries that pay to (or from) ``addresses``.
+@dataclass(frozen=True)
+class AddressPredicate:
+    """Matches entries that pay to (or from) ``addresses``.
 
     ``resolver`` optionally maps a transaction to its input-side
     addresses (requires chain context); outputs are checked directly.
     """
 
-    def matches(entry: MempoolEntry) -> bool:
-        if entry.tx.touches_address(addresses):
+    addresses: frozenset[str]
+    resolver: Optional[Callable[[Transaction], frozenset[str]]] = None
+
+    def __call__(self, entry: MempoolEntry) -> bool:
+        if entry.tx.touches_address(self.addresses):
             return True
-        if resolver is not None and resolver(entry.tx) & addresses:
+        if self.resolver is not None and self.resolver(entry.tx) & self.addresses:
             return True
         return False
 
-    return matches
+
+@dataclass(frozen=True)
+class AnyOfPredicate:
+    """Disjunction of predicates (e.g. own wallets OR the order book)."""
+
+    predicates: tuple[EntryPredicate, ...]
+
+    def __call__(self, entry: MempoolEntry) -> bool:
+        return any(predicate(entry) for predicate in self.predicates)
+
+
+def txid_set_predicate(txids: Callable[[], frozenset[str]]) -> EntryPredicate:
+    """Predicate matching entries whose txid is in a (live) set."""
+    return TxidSetPredicate(txids)
+
+
+def address_predicate(
+    addresses: frozenset[str],
+    resolver: Optional[Callable[[Transaction], frozenset[str]]] = None,
+) -> EntryPredicate:
+    """Predicate matching entries that pay to (or from) ``addresses``."""
+    return AddressPredicate(addresses, resolver)

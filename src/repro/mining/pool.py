@@ -94,6 +94,23 @@ class MiningPool:
         template = self.policy.build(
             entries, max_vsize=self.max_block_vsize, reserved_vsize=self.coinbase_vsize
         )
+        return self.assemble_from_template(height, prev_hash, timestamp, template)
+
+    def assemble_from_template(
+        self,
+        height: int,
+        prev_hash: str,
+        timestamp: float,
+        template,
+    ) -> Block:
+        """'Mine' a block from an already-built template.
+
+        Split out of :meth:`assemble_block` so the vectorized engine can
+        build the template through its compiled policy programs while
+        sharing the coinbase/reward-rotation side effects byte for byte
+        (the reward-address cursor and ``blocks_mined`` advance here, in
+        both paths).
+        """
         subsidy = block_subsidy(height)
         coinbase = make_coinbase(
             reward_address=self.next_reward_address(),

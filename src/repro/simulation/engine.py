@@ -32,6 +32,7 @@ import numpy as np
 from .. import obs
 from ..chain.attribution import PoolAttributor
 from ..chain.blockchain import Blockchain
+from ..core.vectorized import scalar_mode
 from ..chain.constants import (
     MAX_BLOCK_VSIZE,
     SNAPSHOT_INTERVAL,
@@ -265,6 +266,28 @@ class SimulationEngine:
             stale_candidates = faults.stale_mask(len(schedule))
             stale_mask = stale_candidates if stale_candidates.any() else None
         mining_rng = self.streams.stream("mining/assembly")
+
+        # Default: the vectorized production loop (repro.simulation.fast),
+        # byte-identical to the scalar loop below by contract
+        # (tests/test_engine_oracle.py).  The scalar path remains the
+        # differential oracle behind REPRO_AUDIT_SCALAR=1, and still
+        # carries checkpoint/resume, which keeps per-block dict state.
+        if checkpoint is None and not scalar_mode():
+            from .fast import produce_fast
+
+            committed, chain, orphaned = produce_fast(
+                self,
+                plan,
+                broadcast_times,
+                pool_arrivals,
+                schedule,
+                stale_mask,
+                mining_rng,
+                check_invariants=invariants_enabled(),
+            )
+            return self._curate(
+                plan, broadcast_times, observer_delays, committed, chain, orphaned
+            )
 
         # Pending pool: index into `plan` for not-yet-committed txs,
         # plus conflict bookkeeping (outpoint -> pending spender) so

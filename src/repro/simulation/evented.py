@@ -33,6 +33,7 @@ from .workload import PlannedTx
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..faults.schedule import FaultSchedule
+    from ..mempool.mempool import MempoolEntry
 
 
 @dataclass
@@ -45,6 +46,53 @@ class EventedConfig:
     target_degree: int = 6
     observer_min_fee_rate: float = 0.0
     snapshot_interval: float = 15.0
+
+
+def minable_entries(
+    entries: Sequence["MempoolEntry"],
+    plan_txids: frozenset[str],
+    chain: Blockchain,
+) -> list["MempoolEntry"]:
+    """Restrict a mempool view to what the winner may legally commit.
+
+    Block gossip has latency, so the winner's mempool can lag the
+    (globally authoritative) ``chain``: it may still hold transactions
+    another pool just committed, or replacements that conflict with a
+    committed original.  The engine path structurally cannot re-commit
+    either (committed transactions leave its pending pool), so they are
+    dropped here too.
+
+    It can also hold a child whose parent has not reached this node
+    (gossip still in flight, or lost to a fault).  Mining the child
+    would commit it before its parent exists on-chain — something the
+    engine's ``_eligible_entries`` never does.  Mirroring its
+    semantics: only *in-plan* parents constrain (synthetic workload
+    UTXOs impose nothing), and a parent already committed to ``chain``
+    frees its children.  Entry order is preserved.
+    """
+    selected = {
+        entry.txid: entry
+        for entry in entries
+        if not chain.contains(entry.txid)
+        and not any(chain.is_spent(txin.prevout) for txin in entry.tx.inputs)
+    }
+    changed = True
+    while changed:
+        changed = False
+        for txid in list(selected):
+            entry = selected.get(txid)
+            if entry is None:
+                continue
+            for parent in entry.tx.parent_txids:
+                if (
+                    parent in plan_txids
+                    and parent not in selected
+                    and not chain.contains(parent)
+                ):
+                    del selected[txid]
+                    changed = True
+                    break
+    return list(selected.values())
 
 
 class EventedSimulation:
@@ -143,6 +191,7 @@ class EventedSimulation:
             scheduler.schedule(planned.broadcast_time, inject)
 
         chain = Blockchain()
+        plan_txids = frozenset(planned.tx.txid for planned in plan)
         if schedule is None:
             schedule = generate_block_schedule(
                 self.config.duration,
@@ -167,7 +216,9 @@ class EventedSimulation:
                     height=len(chain),
                     prev_hash=chain.tip_hash,
                     timestamp=s.now,
-                    entries=node.mempool.entries(),
+                    entries=minable_entries(
+                        node.mempool.entries(), plan_txids, chain
+                    ),
                 )
                 if stale:
                     # Lost the propagation race: never announced, its

@@ -28,6 +28,7 @@ from typing import TYPE_CHECKING, Optional, Sequence
 from ..chain.constants import TARGET_BLOCK_INTERVAL
 from ..mining.acceleration import AccelerationService
 from ..mining.policies import (
+    AnyOfPredicate,
     FeeRatePolicy,
     JitterSource,
     MinFeeRatePolicy,
@@ -213,12 +214,9 @@ def _wire_policies(
                         address_predicate(partner_pool.wallet_addresses)
                     )
             if partner_predicates:
-                def rescue(entry, predicates=tuple(partner_predicates)) -> bool:
-                    return any(predicate(entry) for predicate in predicates)
-
                 policy = PrioritizeSetPolicy(
                     base=policy,
-                    boost=rescue,
+                    boost=AnyOfPredicate(tuple(partner_predicates)),
                     label=f"collude/{pool.name}",
                     min_age=1800.0,
                 )
@@ -234,11 +232,10 @@ def _wire_policies(
                     txid_set_predicate(service.accelerated_txids)
                 )
             if own_predicates:
-                def boost(entry, predicates=tuple(own_predicates)) -> bool:
-                    return any(predicate(entry) for predicate in predicates)
-
                 policy = PrioritizeSetPolicy(
-                    base=policy, boost=boost, label=f"boost/{pool.name}"
+                    base=policy,
+                    boost=AnyOfPredicate(tuple(own_predicates)),
+                    label=f"boost/{pool.name}",
                 )
         pool.policy = policy
 

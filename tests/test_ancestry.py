@@ -118,3 +118,66 @@ class TestCpfpDetection:
         txs = {tx.txid: tx for tx in (a, b, c)}
         assert dependency_closure(txs, c.txid) == {a.txid, b.txid}
         assert dependency_closure(txs, a.txid) == frozenset()
+
+
+# ----------------------------------------------------------------------
+# Property: incremental reverse index ≡ O(n) scan
+# ----------------------------------------------------------------------
+from hypothesis import given, settings, strategies as st
+
+
+@st.composite
+def add_remove_script(draw):
+    """A script of add/remove ops over txs with random parent links.
+
+    Each added tx draws parents from the txs created before it (tracked
+    or not — out-of-set parents must never surface as children edges),
+    and removals target any previously created txid, present or not.
+    """
+    op_count = draw(st.integers(min_value=1, max_value=24))
+    ops = []
+    created = 0
+    for _ in range(op_count):
+        if created and draw(st.booleans()):
+            ops.append(("remove", draw(st.integers(0, created - 1))))
+        else:
+            parent_pool = list(range(created))
+            parents = draw(
+                st.lists(
+                    st.sampled_from(parent_pool), unique=True, max_size=3
+                )
+                if parent_pool
+                else st.just([])
+            )
+            ops.append(("add", parents))
+            created += 1
+    return ops
+
+
+class TestChildrenIndexProperty:
+    @given(script=add_remove_script())
+    @settings(max_examples=60, deadline=None)
+    def test_children_of_matches_scan_oracle(self, script):
+        factory = TxFactory("children-prop")
+        index = AncestryIndex()
+        txs = []
+        for op, arg in script:
+            if op == "add":
+                tx = factory.tx(parents=tuple(txs[i].txid for i in arg))
+                txs.append(tx)
+                index.add(tx)
+            else:
+                index.remove(txs[arg].txid)
+            for tx in txs:
+                assert index.children_of(tx.txid) == index.children_of_by_scan(
+                    tx.txid
+                ), f"reverse index diverged after {op}"
+
+    def test_remove_then_readd_restores_children(self, txf):
+        a, b, c = chain_of_three(txf)
+        index = AncestryIndex([a, b, c])
+        index.remove(b.txid)
+        assert index.children_of(a.txid) == frozenset()
+        index.add(b)
+        assert index.children_of(a.txid) == {b.txid}
+        assert index.children_of(b.txid) == {c.txid}

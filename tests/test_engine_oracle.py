@@ -1,0 +1,110 @@
+"""Differential suite: the fast block-production path vs the scalar engine.
+
+`repro.simulation.fast` replays the per-tx engine loop over packed
+arrays; the scalar loop (mempool heap + template builders) stays live
+behind ``REPRO_AUDIT_SCALAR=1`` as the oracle.  The contract is *byte
+identity* of the curated datasets — every observer's serialized
+artefact, not just summary statistics — across the paper's three
+dataset analogues, including the misbehaving-policy lineup (dataset C:
+self-interest acceleration, dark-fee boosts, zero-floor pools, noisy
+ordering) and a fault-degraded cell (loss rates + forced stale blocks).
+
+Scale defaults to 0.2 per the engine-vectorization acceptance
+criterion; set ``REPRO_ORACLE_SCALE`` to rerun the contract at another
+size.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro import obs
+from repro.datasets.io import dataset_to_dict
+from repro.faults.schedule import FaultSchedule
+from repro.simulation.scenarios import (
+    dataset_a_scenario,
+    dataset_b_scenario,
+    dataset_c_scenario,
+)
+
+SCALE = float(os.environ.get("REPRO_ORACLE_SCALE", "0.2"))
+
+
+def _degraded_faults() -> FaultSchedule:
+    return FaultSchedule(
+        seed=5,
+        tx_loss_rate=0.05,
+        pool_loss_rate=0.05,
+        stale_block_indexes=(1, 3),
+    )
+
+
+CELLS = {
+    "dataset-A": lambda: dataset_a_scenario(scale=SCALE),
+    "dataset-A-degraded": lambda: dataset_a_scenario(
+        scale=SCALE, faults=_degraded_faults()
+    ),
+    "dataset-B": lambda: dataset_b_scenario(scale=SCALE),
+    "dataset-C-misbehaving": lambda: dataset_c_scenario(scale=SCALE),
+}
+
+
+def _run_cell(factory, monkeypatch, scalar: bool):
+    """Run a fresh scenario and serialize every observer's dataset."""
+    monkeypatch.setenv("REPRO_AUDIT_SCALAR", "1" if scalar else "0")
+    with obs.tracing(reset=True):
+        result = factory().run()
+        snapshot = obs.snapshot()
+    blobs = {
+        name: json.dumps(
+            dataset_to_dict(dataset), separators=(",", ":"), sort_keys=True
+        )
+        for name, dataset in sorted(result.datasets_by_observer.items())
+    }
+    return blobs, snapshot
+
+
+def _first_divergence(scalar_blob: str, fast_blob: str) -> str:
+    limit = min(len(scalar_blob), len(fast_blob))
+    for i in range(limit):
+        if scalar_blob[i] != fast_blob[i]:
+            lo = max(0, i - 60)
+            return (
+                f"first diff at char {i}:\n"
+                f"  scalar: …{scalar_blob[lo:i + 90]}…\n"
+                f"  fast:   …{fast_blob[lo:i + 90]}…"
+            )
+    return f"length diff: {len(scalar_blob)} vs {len(fast_blob)}"
+
+
+@pytest.mark.parametrize("cell", sorted(CELLS))
+def test_fast_engine_is_byte_identical_to_scalar_oracle(cell, monkeypatch):
+    factory = CELLS[cell]
+    scalar_blobs, _ = _run_cell(factory, monkeypatch, scalar=True)
+    fast_blobs, fast_snapshot = _run_cell(factory, monkeypatch, scalar=False)
+
+    # The comparison must not be vacuous: the fast path has to have
+    # actually compiled and driven the pools.
+    counters = fast_snapshot["counters"]
+    assert counters.get("engine.fast.pools_compiled", 0) > 0
+    assert counters.get("engine.fast.pools_fallback", 0) == 0
+
+    assert sorted(scalar_blobs) == sorted(fast_blobs)
+    for name in scalar_blobs:
+        if scalar_blobs[name] != fast_blobs[name]:
+            pytest.fail(
+                f"observer {name!r} diverged in cell {cell}:\n"
+                + _first_divergence(scalar_blobs[name], fast_blobs[name])
+            )
+
+
+def test_scalar_oracle_does_not_take_the_fast_path(monkeypatch):
+    """REPRO_AUDIT_SCALAR=1 must route through the per-tx engine loop."""
+    monkeypatch.setenv("REPRO_AUDIT_SCALAR", "1")
+    with obs.tracing(reset=True):
+        dataset_a_scenario(scale=0.05).run()
+        snapshot = obs.snapshot()
+    assert "engine.fast.pools_compiled" not in snapshot["counters"]

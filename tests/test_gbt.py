@@ -2,8 +2,10 @@
 
 import pytest
 
-from repro.mempool.mempool import MempoolEntry
+from repro.mempool.feerate import fee_rate_rank
+from repro.mempool.mempool import Mempool, MempoolEntry
 from repro.mining.gbt import (
+    TemplateBudgetError,
     ancestor_package_template,
     compare_templates,
     greedy_feerate_template,
@@ -181,3 +183,103 @@ class TestTemplateHelpers:
         assert compare_templates(rich, poor) is rich
         assert compare_templates(poor, rich) is rich
         assert compare_templates(rich, rich) is None
+
+
+class TestExactFeeRateOrdering:
+    """Float-tie determinism: ranking must follow the exact rationals.
+
+    The adversarial pair below holds two *distinct* fee-rates whose
+    float64 quotients collide exactly (the numerator difference falls
+    outside the 53-bit mantissa).  Ranking by the float would fall
+    through to the arrival/txid tie-break — which is arranged to point
+    the wrong way — so these tests fail on any float-keyed builder.
+    """
+
+    #: rate 1 + 1e-16: rounds to float64 1.0 exactly.
+    RICH = (10**16 + 1, 10**16)
+    #: rate exactly 1.
+    POOR = (1, 1)
+
+    def test_adversarial_pair_collides_in_float64(self):
+        (rich_fee, rich_vsize), (poor_fee, poor_vsize) = self.RICH, self.POOR
+        assert rich_fee / rich_vsize == poor_fee / poor_vsize
+        assert fee_rate_rank(rich_fee, rich_vsize) > fee_rate_rank(
+            poor_fee, poor_vsize
+        )
+
+    def test_greedy_orders_float_ties_by_exact_rate(self, txf):
+        # The truly-poorer transaction arrives first, so an arrival
+        # tie-break would select it first; exact ranking must not.
+        entries = entries_from(txf, [self.POOR, self.RICH])
+        template = greedy_feerate_template(entries, max_vsize=2 * 10**16)
+        assert template.txids() == [entries[1].txid, entries[0].txid]
+
+    def test_ancestor_orders_float_ties_by_exact_rate(self, txf):
+        entries = entries_from(txf, [self.POOR, self.RICH])
+        template = ancestor_package_template(entries, max_vsize=2 * 10**16)
+        assert template.txids() == [entries[1].txid, entries[0].txid]
+
+    def test_package_score_float_tie_uses_exact_rate(self, txf):
+        # The CPFP package (parent + child) sums to the RICH rational;
+        # its float score ties with the earlier-arrived single.
+        poor, parent = entries_from(txf, [self.POOR, (1, 10**16 - 1)])
+        child = MempoolEntry(
+            tx=txf.tx(fee=10**16, vsize=1, parents=(parent.txid,)),
+            arrival_time=2.0,
+        )
+        template = ancestor_package_template(
+            [poor, parent, child], max_vsize=2 * 10**16
+        )
+        assert template.txids() == [parent.txid, child.txid, poor.txid]
+
+    def test_eviction_planner_float_tie_evicts_exact_cheapest(self, txf):
+        # Same colliding pair in a full mempool: the planner must evict
+        # the exactly-cheaper entry, not the arrival-tie loser.
+        mempool = Mempool(min_fee_rate=0.0, max_vsize=10**16 + 1)
+        poor = txf.tx(fee=1, vsize=1)
+        rich = txf.tx(fee=10**16 + 1, vsize=10**16)
+        assert mempool.offer(poor, now=0.0).accepted
+        assert mempool.offer(rich, now=1.0).accepted
+        incoming = txf.tx(fee=10**10, vsize=1)
+        assert mempool.offer(incoming, now=2.0).accepted
+        assert poor.txid not in mempool
+        assert rich.txid in mempool
+        assert incoming.txid in mempool
+
+
+class TestTemplateBudgetGuard:
+    """reserved_vsize > max_vsize must raise, not fill a negative budget."""
+
+    def test_greedy_rejects_reserved_above_max(self, txf):
+        entries = entries_from(txf, [(500, 100)])
+        with pytest.raises(TemplateBudgetError):
+            greedy_feerate_template(entries, max_vsize=100, reserved_vsize=101)
+
+    def test_ancestor_rejects_reserved_above_max(self, txf):
+        entries = entries_from(txf, [(500, 100)])
+        with pytest.raises(TemplateBudgetError):
+            ancestor_package_template(entries, max_vsize=100, reserved_vsize=101)
+
+    def test_budget_error_is_a_value_error(self):
+        assert issubclass(TemplateBudgetError, ValueError)
+
+    def test_zero_budget_is_legal_and_empty(self, txf):
+        entries = entries_from(txf, [(500, 100)])
+        for builder in (greedy_feerate_template, ancestor_package_template):
+            template = builder(entries, max_vsize=100, reserved_vsize=100)
+            assert template.txids() == []
+            assert template.total_vsize == 0
+            assert template.total_fee == 0
+
+    def test_exact_fit_boundary(self, txf):
+        entries = entries_from(txf, [(500, 500)])
+        for builder in (greedy_feerate_template, ancestor_package_template):
+            template = builder(entries, max_vsize=700, reserved_vsize=200)
+            assert template.txids() == [entries[0].txid]
+            assert template.total_vsize == 500
+
+    def test_one_vbyte_over_budget_is_skipped(self, txf):
+        entries = entries_from(txf, [(500, 501)])
+        for builder in (greedy_feerate_template, ancestor_package_template):
+            template = builder(entries, max_vsize=700, reserved_vsize=200)
+            assert template.txids() == []
