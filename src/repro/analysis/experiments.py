@@ -7,6 +7,7 @@ from typing import Iterable
 from .base import DataContext, ExperimentResult, ExperimentRunner
 from . import (
     ablations,
+    ext_adversaries,
     ext_censorship,
     ext_faults,
     ext_norms,
@@ -59,6 +60,7 @@ EXTENSIONS: dict[str, ExperimentRunner] = {
     "ext_rbf": ext_rbf.run,
     "ext_power": ext_power.run,
     "ext_faults": ext_faults.run,
+    "ext_adversaries": ext_adversaries.run,
     "abl_selection": ablations.run_selection,
     "abl_epsilon": ablations.run_epsilon,
     "abl_jitter": ablations.run_jitter,

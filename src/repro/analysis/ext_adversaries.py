@@ -1,0 +1,396 @@
+"""Extension: the adversary zoo and its detection-power scorecard.
+
+The paper's audits were built to catch one family of misbehaviour —
+fee-order deviation in favour of known transaction sets.  This
+experiment asks the converse question: *which ordering attacks does the
+paper's toolbox actually see?*  A zoo of labelled adversaries (FIFO and
+bucketed builders, a uniform-price call auction, MEV-style sandwiching,
+censorship-for-rent, selfish mining, and maximal self-interest
+acceleration) each runs the **same** labelled workload, with only the
+target pool's policy — or the pool-level withholding attack — changed
+between rows.  Four detectors from the audit toolbox are then scored on
+every run:
+
+* ``accel`` — the §5.1 directional prioritization test on the pool's
+  ground-truth self-interest set;
+* ``decel`` — the same machinery pointed the other way, at the scam
+  population (does the pool *bury* them?);
+* ``ppe`` — a distribution-free sign test on per-block prioritization
+  errors: is the target pool's PPE above the median PPE of everyone
+  else's blocks more often than a fair coin allows?
+* ``share`` — a two-sided exact binomial of the pool's committed block
+  count against its *configured* hash share (the ground truth the
+  simulator knows; a real auditor would substitute an external
+  hash-rate estimate).  This is the only cell with any view of
+  consensus-level attacks.
+
+The ``honest`` row runs the identical workload with nobody deviating,
+so each test's column there is a measured false-positive rate at the
+same alpha — the scorecard reports power and FPR side by side, which is
+what makes the matrix an honest statement about the audit's blind
+spots rather than a list of successes.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.audit import Auditor
+from ..core.stattests import (
+    DEFAULT_ALPHA,
+    binom_tail_lower,
+    binom_tail_upper,
+)
+from ..datasets.builder import build_dataset
+from ..datasets.cache import DatasetCache
+from ..datasets.dataset import Dataset
+from ..mining.pool import normalize_hash_shares
+from ..simulation.scenarios import ADVERSARY_KINDS, adversary_scenario
+from .base import DataContext, ExperimentResult, check
+from .tables import render_table
+
+PAPER = {
+    "premise": "the audits target fee-order deviation (§5); other "
+    "ordering attacks are out of scope by construction",
+    "alpha": DEFAULT_ALPHA,
+}
+
+#: The detector battery scored against every zoo lineup.
+TESTS = ("accel", "insert", "decel", "ppe", "share")
+#: The pool playing the adversary in every lineup.
+TARGET_POOL = "F2Pool"
+#: Simulation seeds (one zoo run per kind x intensity each).
+DEFAULT_SEEDS = (11, 222)
+#: Intensity knob settings for kinds that expose one.
+DEFAULT_INTENSITIES = (0.5, 1.0)
+#: Kinds whose scenario ignores the intensity knob; running them at
+#: several intensities would just duplicate identical simulations.
+INTENSITY_FREE = frozenset({"honest", "fifo", "call-auction", "max-boost"})
+#: Sweep scale: ~36 blocks per run, enough c-blocks for the binomials.
+SWEEP_SCALE = 0.08
+
+
+@dataclass(frozen=True)
+class AdversaryCell:
+    """One scorecard cell: a detector's rate against one adversary."""
+
+    kind: str
+    test: str
+    target_pool: str
+    #: Fraction of runs with p < alpha.  For the honest row this is a
+    #: measured false-positive rate; for adversarial rows it is power.
+    rate: float
+    mean_p: float
+    runs: int
+
+    @property
+    def is_honest(self) -> bool:
+        return self.kind == "honest"
+
+
+@dataclass
+class DetectionMatrix:
+    """The adversary x test scorecard."""
+
+    target_pool: str
+    alpha: float
+    scale: float
+    kinds: tuple[str, ...]
+    tests: tuple[str, ...] = TESTS
+    cells: list[AdversaryCell] = field(default_factory=list)
+
+    def cell(self, kind: str, test: str) -> Optional[AdversaryCell]:
+        for entry in self.cells:
+            if entry.kind == kind and entry.test == test:
+                return entry
+        return None
+
+    def row(self, kind: str) -> list[AdversaryCell]:
+        return [c for c in self.cells if c.kind == kind]
+
+    def to_csv(self) -> str:
+        """The matrix as CSV with explicit power and FPR columns."""
+        out = io.StringIO()
+        out.write("kind,test,target_pool,runs,power,fpr,mean_p\n")
+        for entry in self.cells:
+            power = "" if entry.is_honest else f"{entry.rate:.4f}"
+            fpr = f"{entry.rate:.4f}" if entry.is_honest else ""
+            out.write(
+                f"{entry.kind},{entry.test},{entry.target_pool},"
+                f"{entry.runs},{power},{fpr},{entry.mean_p:.6g}\n"
+            )
+        return out.getvalue()
+
+
+def _share_test_p(dataset: Dataset, pool: str, theta0: float) -> float:
+    """Two-sided exact binomial of committed block share vs ``theta0``.
+
+    ``theta0`` must be the *configured* share — estimating it from the
+    chain itself (``dataset.hash_rate_of``) would test the share
+    against its own estimate and never reject.
+    """
+    n = dataset.block_count
+    x = sum(1 for name in dataset.block_pools.values() if name == pool)
+    if n == 0 or not 0.0 < theta0 < 1.0:
+        return 1.0
+    return min(
+        1.0,
+        2.0
+        * min(binom_tail_upper(x, n, theta0), binom_tail_lower(x, n, theta0)),
+    )
+
+
+def _ppe_sign_test_p(auditor: Auditor, dataset: Dataset, pool: str) -> float:
+    """Sign test: target-pool blocks above everyone else's median PPE.
+
+    Under neutral ordering each target block clears the cross-pool
+    median PPE with probability 1/2; counting only *strict* exceedances
+    keeps the test conservative when PPE ties at zero.
+    """
+    blocks = auditor.ppe_distribution()
+    target = [
+        b.ppe for b in blocks if dataset.block_pools.get(b.height) == pool
+    ]
+    others = [
+        b.ppe
+        for b in blocks
+        if dataset.block_pools.get(b.height) not in (pool, None)
+    ]
+    if not target or not others:
+        return 1.0
+    reference = float(np.median(others))
+    x = sum(1 for value in target if value > reference)
+    return binom_tail_upper(x, len(target), 0.5)
+
+
+def detection_pvalues(
+    dataset: Dataset, target_pool: str, theta_configured: float
+) -> dict[str, float]:
+    """All detector p-values against one zoo dataset."""
+    auditor = Auditor(dataset)
+    accel = auditor.observed_prioritization_test_for(
+        target_pool, dataset.self_interest_txids(target_pool)
+    )
+    insert = auditor.observed_prioritization_test_for(
+        target_pool, dataset.mev_attack_txids()
+    )
+    decel = auditor.observed_prioritization_test_for(
+        target_pool, dataset.scam_txids()
+    )
+    return {
+        "accel": accel.p_accelerate,
+        "insert": insert.p_accelerate,
+        "decel": decel.p_decelerate,
+        "ppe": _ppe_sign_test_p(auditor, dataset, target_pool),
+        "share": _share_test_p(dataset, target_pool, theta_configured),
+    }
+
+
+def _intensities_for(
+    kind: str, intensities: Sequence[float]
+) -> tuple[float, ...]:
+    if kind in INTENSITY_FREE:
+        return (1.0,)
+    return tuple(intensities)
+
+
+def sweep_detection_matrix(
+    scale: float = SWEEP_SCALE,
+    kinds: Sequence[str] = ADVERSARY_KINDS,
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    intensities: Sequence[float] = DEFAULT_INTENSITIES,
+    alpha: float = DEFAULT_ALPHA,
+    target_pool: str = TARGET_POOL,
+    cache: Optional[DatasetCache] = None,
+) -> DetectionMatrix:
+    """Score every detector against every adversary kind.
+
+    One simulation per (kind, seed, intensity) — fetched from ``cache``
+    when warm — then all four detectors run on each dataset.  A cell's
+    rate aggregates detections over seeds x intensities, so it mixes
+    the half- and full-strength adversary; per-intensity resolution is
+    available by calling with a single-element ``intensities``.
+    """
+    for kind in kinds:
+        if kind not in ADVERSARY_KINDS:
+            raise ValueError(f"unknown adversary kind: {kind!r}")
+    if not seeds:
+        raise ValueError("need at least one seed")
+    matrix = DetectionMatrix(
+        target_pool=target_pool,
+        alpha=alpha,
+        scale=scale,
+        kinds=tuple(kinds),
+    )
+    for kind in kinds:
+        pvalues: dict[str, list[float]] = {test: [] for test in TESTS}
+        for seed in seeds:
+            for intensity in _intensities_for(kind, intensities):
+                scenario = adversary_scenario(
+                    kind,
+                    seed=seed,
+                    scale=scale,
+                    intensity=intensity,
+                    target_pool=target_pool,
+                )
+                theta0 = dict(
+                    zip(
+                        [pool.name for pool in scenario.pools],
+                        normalize_hash_shares(scenario.pools),
+                    )
+                )[target_pool]
+                dataset = build_dataset(scenario, cache=cache)
+                for test, p in detection_pvalues(
+                    dataset, target_pool, theta0
+                ).items():
+                    pvalues[test].append(p)
+        for test in TESTS:
+            values = pvalues[test]
+            matrix.cells.append(
+                AdversaryCell(
+                    kind=kind,
+                    test=test,
+                    target_pool=target_pool,
+                    rate=sum(1 for p in values if p < alpha) / len(values),
+                    mean_p=sum(values) / len(values),
+                    runs=len(values),
+                )
+            )
+    return matrix
+
+
+def render_matrix(matrix: DetectionMatrix) -> str:
+    """The scorecard as one table: rows = adversaries, columns = tests."""
+    rows = []
+    for kind in matrix.kinds:
+        cells = {c.test: c for c in matrix.row(kind)}
+        label = f"{kind} (FPR)" if kind == "honest" else kind
+        rows.append(
+            (label,)
+            + tuple(
+                f"{cells[test].rate:.2f}" if test in cells else "-"
+                for test in matrix.tests
+            )
+        )
+    table = render_table(
+        ["adversary"] + list(matrix.tests),
+        rows,
+        title=(
+            f"Detection scorecard: rate of p < {matrix.alpha} per detector "
+            f"(pool={matrix.target_pool}, scale={matrix.scale:g}; honest "
+            f"row = false-positive rate, all others = power)"
+        ),
+    )
+    blind = [
+        kind
+        for kind in matrix.kinds
+        if kind != "honest"
+        and all(c.rate == 0.0 for c in matrix.row(kind))
+    ]
+    spots = ", ".join(blind) if blind else "none"
+    return f"{table}\n\nblind spots (no detector fires): {spots}"
+
+
+def scorecard_checks(matrix: DetectionMatrix) -> list:
+    """Calibration checks over a detection matrix.
+
+    Factored out of :func:`run` so the scorecard meta-tests can feed a
+    synthetic (or deliberately broken) matrix and assert that a silent
+    detector failure — an honest cell firing above alpha, or the
+    maximal-strength adversary slipping through — flips a check.
+
+    The thresholds are calibrated against the deterministic default
+    sweep (fixed seeds, fixed grid): strong fee-order destroyers must
+    be caught outright, graded adversaries (bucketed, sandwich) must at
+    least fire at full intensity, and the consensus-level attack must
+    stay invisible to the ordering tests while the share binomial sees
+    it.
+    """
+    honest = matrix.row("honest")
+    boost = matrix.cell("max-boost", "accel")
+    bucketed = matrix.cell("bucketed", "ppe")
+    sandwich = matrix.cell("sandwich", "insert")
+    censor = matrix.cell("censor-for-rent", "decel")
+    selfish_share = matrix.cell("selfish", "share")
+    ppe_kinds = ("fifo", "call-auction")
+    ppe_cells = [matrix.cell(kind, "ppe") for kind in ppe_kinds]
+
+    def rate(cell: Optional[AdversaryCell]) -> float:
+        return cell.rate if cell is not None else float("nan")
+
+    return [
+        check(
+            "matrix covers every adversary x test cell",
+            len(matrix.cells) == len(matrix.kinds) * len(matrix.tests)
+            and all(c.runs > 0 for c in matrix.cells),
+            f"{len(matrix.cells)} cells",
+        ),
+        check(
+            "honest lineup false-positive rate <= alpha in every cell",
+            bool(honest)
+            and all(cell.rate <= matrix.alpha for cell in honest),
+            f"honest FPRs: {[cell.rate for cell in honest]}",
+        ),
+        check(
+            "maximal self-interest acceleration is caught outright",
+            boost is not None and boost.rate == 1.0,
+            f"max-boost accel power: {rate(boost)}",
+        ),
+        check(
+            "fee-order-destroying builders light up the PPE sign test",
+            all(cell is not None and cell.rate == 1.0 for cell in ppe_cells),
+            f"ppe power {[(k, rate(c)) for k, c in zip(ppe_kinds, ppe_cells)]}",
+        ),
+        check(
+            "graded adversaries fire at full intensity "
+            "(bucketed via ppe, sandwich via the insertion binomial)",
+            bucketed is not None
+            and bucketed.rate > 0.0
+            and sandwich is not None
+            and sandwich.rate > 0.0,
+            f"bucketed ppe {rate(bucketed)}, sandwich insert {rate(sandwich)}",
+        ),
+        check(
+            "censorship-for-rent is caught by the deceleration binomial",
+            censor is not None and censor.rate >= 0.5,
+            f"censor-for-rent decel power: {rate(censor)}",
+        ),
+        check(
+            "ordering tests alone cannot see selfish mining "
+            "(only the share test has a chance)",
+            selfish_share is not None
+            and selfish_share.rate > 0.0
+            and all(
+                c.rate == 0.0
+                for c in matrix.row("selfish")
+                if c.test in ("accel", "decel")
+            ),
+            f"selfish share power: {rate(selfish_share)}",
+        ),
+    ]
+
+
+def run(ctx: DataContext) -> ExperimentResult:
+    """Build the adversary zoo scorecard and check its calibration."""
+    scale = min(ctx.scale, SWEEP_SCALE)
+    matrix = sweep_detection_matrix(scale=scale, cache=ctx.cache)
+    rendered = render_matrix(matrix)
+
+    measured = {
+        "alpha": matrix.alpha,
+        "scale": scale,
+        "rate_by_cell": {(c.kind, c.test): c.rate for c in matrix.cells},
+    }
+    checks = scorecard_checks(matrix)
+    return ExperimentResult(
+        experiment_id="ext_adversaries",
+        title="Adversary zoo: ordering attacks vs the audit toolbox",
+        paper=PAPER,
+        measured=measured,
+        rendered=rendered,
+        checks=checks,
+    )

@@ -590,6 +590,87 @@ def run_engine_bench(scale: float = ENGINE_GATE_SCALE, repeats: int = 2) -> dict
     }
 
 
+def run_adversaries_bench(
+    scale: float = 0.08,
+    kinds: Sequence[str] = ("fifo", "sandwich", "censor-for-rent", "selfish"),
+    repeats: int = 1,
+) -> dict:
+    """Time adversary-zoo lineups on both substrates and the sweep itself.
+
+    Two sections:
+
+    * **cells** — for each zoo ``kind``, best-of-``repeats`` block
+      production seconds in scalar vs fast mode with the byte-identity
+      gate; zoo *template* policies are unknown to the fast path's
+      policy compiler, so these cells also record whether the
+      compiled-policy-program fallback actually engaged (the selfish
+      lineup keeps honest templates and must *not* fall back);
+    * **sweep** — cold vs cache-warm wall time of a one-seed detection
+      matrix over the same kinds plus the honest row, with the
+      honest-row false-positive bound as the gate.
+    """
+    from ..simulation.scenarios import adversary_scenario
+    from .ext_adversaries import sweep_detection_matrix
+
+    cells: dict[str, dict] = {}
+    for kind in kinds:
+        factory = lambda: adversary_scenario(kind, scale=scale)  # noqa: E731
+        with _scalar_env(True):
+            scalar_seconds, _, scalar_blobs = _engine_run(factory, repeats)
+        with _scalar_env(False):
+            fast_seconds, counters, fast_blobs = _engine_run(factory, repeats)
+        cells[kind] = {
+            "scalar_production_seconds": round(scalar_seconds, 4),
+            "fast_production_seconds": round(fast_seconds, 4),
+            "identical": scalar_blobs == fast_blobs,
+            "fallback_pools": int(
+                counters.get("engine.fast.pools_fallback", 0)
+            ),
+            "compiled_pools": int(
+                counters.get("engine.fast.pools_compiled", 0)
+            ),
+        }
+
+    sweep_kinds = ("honest",) + tuple(kinds)
+    sweep_seconds: dict[str, float] = {}
+    matrix = None
+    with tempfile.TemporaryDirectory(prefix="repro-adv-bench-") as tmp:
+        cache = DatasetCache(tmp)
+        for phase in ("cold", "warm"):
+            clear_memory_cache()
+            started = time.perf_counter()
+            matrix = sweep_detection_matrix(
+                scale=scale,
+                kinds=sweep_kinds,
+                seeds=(11,),
+                intensities=(1.0,),
+                cache=cache,
+            )
+            sweep_seconds[phase] = round(time.perf_counter() - started, 3)
+    honest_fpr = {c.test: c.rate for c in matrix.row("honest")}
+    template_kinds = [k for k in kinds if k != "selfish"]
+    return {
+        "benchmark": "adversaries",
+        "scale": scale,
+        "repeats": repeats,
+        "cells": cells,
+        "sweep": {
+            "kinds": list(sweep_kinds),
+            "cold_seconds": sweep_seconds["cold"],
+            "warm_seconds": sweep_seconds["warm"],
+            "honest_fpr": honest_fpr,
+            "alpha": matrix.alpha,
+        },
+        "all_identical": all(c["identical"] for c in cells.values()),
+        "fallback_exercised": all(
+            cells[k]["fallback_pools"] > 0 for k in template_kinds
+        ),
+        "honest_fpr_ok": all(
+            rate <= matrix.alpha for rate in honest_fpr.values()
+        ),
+    }
+
+
 def run_metrics_bench(
     scale: float = 0.3,
     cache_dir: Optional[Union[str, Path]] = None,

@@ -10,6 +10,7 @@ Usage::
     repro-audit bench --scale 0.2 --jobs 4 --out BENCH_runner.json
     repro-audit dataset C --scale 0.1 --out dataset_c.json.gz
     repro-audit faults --scale 0.05 --loss 0 0.05 0.5 --downtime 0 0.25
+    repro-audit adversaries --scale 0.08 --csv detection_matrix.csv
     repro-audit serve --dataset dataset_c.json.gz --wal-dir ./wal --port 8730
 
 Datasets are simulated once and cached under ``--cache-dir`` (default
@@ -137,10 +138,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--suite",
         default="runner",
         help="comma-separated subset of {runner, metrics, service, "
-        "engine}, or 'full' for all of them: 'runner' times the "
-        "experiment battery grid, 'metrics' the scalar-vs-vectorized "
+        "engine, adversaries}, or 'full' for all of them: 'runner' times "
+        "the experiment battery grid, 'metrics' the scalar-vs-vectorized "
         "audit kernels, 'service' the streaming audit service query "
-        "storm, 'engine' the scalar-vs-vectorized block-production loop",
+        "storm, 'engine' the scalar-vs-vectorized block-production loop, "
+        "'adversaries' the ordering-attack zoo on both substrates plus "
+        "the detection-matrix sweep",
     )
     bench_parser.add_argument(
         "--metrics-scale",
@@ -161,6 +164,13 @@ def _build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.2,
         help="dataset scale for the service query-storm cell (default 0.2)",
+    )
+    bench_parser.add_argument(
+        "--adversaries-scale",
+        type=float,
+        default=0.08,
+        help="dataset scale for the adversary-zoo suite (default 0.08, "
+        "the detection-matrix sweep scale)",
     )
 
     dataset_parser = sub.add_parser(
@@ -221,6 +231,56 @@ def _build_parser() -> argparse.ArgumentParser:
     faults_parser.add_argument(
         "--out", type=str, default=None, help="also write the report to a file"
     )
+
+    adversaries_parser = sub.add_parser(
+        "adversaries",
+        help="score the audit toolbox against the ordering-attack zoo",
+        description=(
+            "Run every adversary-zoo lineup (FIFO/bucketed builders, "
+            "call auction, MEV sandwich, censorship-for-rent, selfish "
+            "mining, maximal self-interest) across seeds x intensities "
+            "and print the adversary x test detection matrix: power per "
+            "adversarial cell, false-positive rate on the honest row, "
+            "at a fixed alpha.  Exits non-zero if the honest row's "
+            "false-positive rate exceeds alpha anywhere."
+        ),
+    )
+    adversaries_parser.add_argument(
+        "--scale", type=float, default=None, help="simulation scale"
+    )
+    adversaries_parser.add_argument(
+        "--kinds",
+        type=str,
+        nargs="+",
+        default=None,
+        help="adversary kinds to score (default: the whole zoo)",
+    )
+    adversaries_parser.add_argument(
+        "--seeds", type=int, nargs="+", default=None, help="simulation seeds"
+    )
+    adversaries_parser.add_argument(
+        "--intensities",
+        type=float,
+        nargs="+",
+        default=None,
+        help="intensity knob settings for kinds that expose one",
+    )
+    adversaries_parser.add_argument(
+        "--alpha", type=float, default=None, help="test size (default 0.01)"
+    )
+    adversaries_parser.add_argument(
+        "--pool", type=str, default=None, help="the pool playing the adversary"
+    )
+    adversaries_parser.add_argument(
+        "--csv",
+        type=str,
+        default=None,
+        help="also export the detection matrix as CSV to this path",
+    )
+    adversaries_parser.add_argument(
+        "--out", type=str, default=None, help="also write the report to a file"
+    )
+    _add_cache_arguments(adversaries_parser)
 
     serve_parser = sub.add_parser(
         "serve",
@@ -373,9 +433,14 @@ def _run_command(args: argparse.Namespace) -> int:
 
 
 def _bench_command(args: argparse.Namespace) -> int:
-    from .analysis.runner import run_bench, run_engine_bench, run_metrics_bench
+    from .analysis.runner import (
+        run_adversaries_bench,
+        run_bench,
+        run_engine_bench,
+        run_metrics_bench,
+    )
 
-    known = {"runner", "metrics", "service", "engine"}
+    known = {"runner", "metrics", "service", "engine", "adversaries"}
     suites = (
         set(known)
         if args.suite == "full"
@@ -433,6 +498,29 @@ def _bench_command(args: argparse.Namespace) -> int:
                 "FAIL: fast engine below the dataset-C speedup gate "
                 f"({engine['cells']['dataset-C']['speedup']}x < "
                 f"{engine['gate']['min_speedup']}x)",
+                file=sys.stderr,
+            )
+            exit_code = 1
+    if "adversaries" in suites:
+        adversaries = run_adversaries_bench(scale=args.adversaries_scale)
+        document["adversaries"] = adversaries
+        if not adversaries["all_identical"]:
+            print(
+                "FAIL: adversary-zoo datasets differ between the fast "
+                "engine and the scalar oracle",
+                file=sys.stderr,
+            )
+            exit_code = 1
+        if not adversaries["fallback_exercised"]:
+            print(
+                "FAIL: a zoo template policy was compiled instead of "
+                "exercising the fallback path",
+                file=sys.stderr,
+            )
+            exit_code = 1
+        if not adversaries["honest_fpr_ok"]:
+            print(
+                "FAIL: honest-lineup false-positive rate exceeds alpha",
                 file=sys.stderr,
             )
             exit_code = 1
@@ -516,6 +604,54 @@ def _faults_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _adversaries_command(args: argparse.Namespace) -> int:
+    from .analysis import ext_adversaries
+    from .datasets.cache import DatasetCache
+
+    kwargs: dict = {}
+    if args.scale is not None:
+        kwargs["scale"] = args.scale
+    if args.kinds is not None:
+        kwargs["kinds"] = tuple(args.kinds)
+    if args.seeds is not None:
+        kwargs["seeds"] = tuple(args.seeds)
+    if args.intensities is not None:
+        kwargs["intensities"] = tuple(args.intensities)
+    if args.alpha is not None:
+        kwargs["alpha"] = args.alpha
+    if args.pool is not None:
+        kwargs["target_pool"] = args.pool
+    if not args.no_cache:
+        kwargs["cache"] = DatasetCache(args.cache_dir)
+    try:
+        matrix = ext_adversaries.sweep_detection_matrix(**kwargs)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = ext_adversaries.render_matrix(matrix)
+    print(report)
+    if args.csv:
+        atomic_write_text(args.csv, matrix.to_csv())
+        print(f"\ndetection matrix CSV written to {args.csv}")
+    if args.out:
+        atomic_write_text(args.out, report + "\n")
+        print(f"report written to {args.out}")
+    loud = [
+        cell
+        for cell in matrix.row("honest")
+        if cell.rate > matrix.alpha
+    ]
+    if loud:
+        print(
+            "\nFAIL: honest-lineup false-positive rate exceeds "
+            f"alpha={matrix.alpha:g} for: "
+            + ", ".join(f"{c.test}={c.rate:.3f}" for c in loud),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _serve_command(args: argparse.Namespace) -> int:
     from .service.server import AuditService, make_http_server
 
@@ -571,6 +707,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _dataset_command(args)
     if args.command == "faults":
         return _faults_command(args)
+    if args.command == "adversaries":
+        return _adversaries_command(args)
     if args.command == "serve":
         return _serve_command(args)
     parser.error(f"unknown command {args.command!r}")

@@ -23,6 +23,10 @@ LABEL_LOW_FEE = "low-fee"
 #: it displaced.
 LABEL_RBF_BUMP = "rbf-bump"
 LABEL_RBF_ORIGINAL = "rbf-original"
+#: MEV campaign populations: targeted victim transactions and the
+#: attacker's own insertion (front-run/back-run) transactions.
+LABEL_MEV_VICTIM = "mev-victim"  # mev-victim:<campaign name>
+LABEL_MEV_ATTACK = "mev-attack"  # mev-attack:<campaign name>
 
 
 def make_label(prefix: str, value: str = "") -> str:

@@ -61,6 +61,7 @@ from .workload import PlannedTx
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..faults.checkpoint import CheckpointConfig
     from ..faults.schedule import FaultSchedule
+    from ..mining.adversaries import SelfishMiningAttack
 
 
 @dataclass
@@ -143,6 +144,7 @@ class SimulationEngine:
         services: Sequence[AccelerationService] = (),
         schedule: Optional[Sequence[tuple[float, int]]] = None,
         faults: Optional["FaultSchedule"] = None,
+        attacks: Sequence["SelfishMiningAttack"] = (),
     ) -> None:
         if not pools:
             raise ValueError("need at least one mining pool")
@@ -160,6 +162,10 @@ class SimulationEngine:
         # tests/test_seed_robustness.py).  Fault draws come from their
         # own RNG root, never from `streams`.
         self.faults = faults if faults is not None and not faults.is_null else None
+        # Pool-level mining-race attacks (selfish mining / withholding).
+        # Their race outcomes come from each attack's own seed, so an
+        # attack that never engages is byte-identical to no attack.
+        self.attacks = list(attacks)
 
     # ------------------------------------------------------------------
     # Arrival-time machinery
@@ -265,6 +271,19 @@ class SimulationEngine:
         if faults is not None:
             stale_candidates = faults.stale_mask(len(schedule))
             stale_mask = stale_candidates if stale_candidates.any() else None
+        # Mining-race attacks resolve before substrate dispatch: both
+        # the scalar loop and the fast path consume the same merged
+        # stale mask, so the byte-identity contract holds under attack.
+        if self.attacks:
+            pool_names = [pool.name for pool in self.pools]
+            for attack in self.attacks:
+                overlay = attack.stale_overlay(schedule, pool_names)
+                if overlay is None:
+                    continue
+                obs.counter("engine.attacks.withheld_races", int(overlay.sum()))
+                stale_mask = (
+                    overlay if stale_mask is None else (stale_mask | overlay)
+                )
         mining_rng = self.streams.stream("mining/assembly")
 
         # Default: the vectorized production loop (repro.simulation.fast),
@@ -466,6 +485,8 @@ class SimulationEngine:
             digest.update(
                 repr(sorted(self.faults.describe().items())).encode("utf-8")
             )
+        for attack in self.attacks:
+            digest.update(repr(sorted(attack.describe().items())).encode("utf-8"))
         for planned in plan:
             digest.update(planned.tx.txid.encode("utf-8"))
         return digest.hexdigest()[:32]
@@ -746,6 +767,9 @@ class SimulationEngine:
         if faults is not None:
             metadata["faults"] = faults.describe()
             metadata["orphaned_blocks"] = orphaned
+        if self.attacks:
+            metadata["attacks"] = [attack.describe() for attack in self.attacks]
+            metadata["orphaned_blocks"] = orphaned
         return Dataset(
             name=observer.name,
             chain=chain,
@@ -848,6 +872,7 @@ def run_scenario(
     streams: RngStreams,
     services: Sequence[AccelerationService] = (),
     faults: Optional["FaultSchedule"] = None,
+    attacks: Sequence["SelfishMiningAttack"] = (),
 ) -> SimulationResult:
     """One-call convenience wrapper around :class:`SimulationEngine`."""
     engine = SimulationEngine(
@@ -857,5 +882,6 @@ def run_scenario(
         streams=streams,
         services=services,
         faults=faults,
+        attacks=attacks,
     )
     return engine.run(plan)

@@ -27,6 +27,15 @@ from typing import TYPE_CHECKING, Optional, Sequence
 
 from ..chain.constants import TARGET_BLOCK_INTERVAL
 from ..mining.acceleration import AccelerationService
+from ..mining.adversaries import (
+    BucketedPriorityPolicy,
+    CallAuctionPolicy,
+    CensorForRentPolicy,
+    FifoPolicy,
+    MevCampaign,
+    SandwichPolicy,
+    SelfishMiningAttack,
+)
 from ..mining.policies import (
     AnyOfPredicate,
     FeeRatePolicy,
@@ -61,6 +70,7 @@ from .workload import (
     SizeModel,
     WorkloadConfig,
     WorkloadGenerator,
+    scam_wallet_address,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -104,6 +114,10 @@ class Scenario:
     #: draws use the schedule's own RNG root, so a zero-rate schedule
     #: yields byte-identical artifacts to no schedule at all.
     faults: Optional["FaultSchedule"] = None
+    #: Pool-level consensus attacks (selfish mining / block withholding)
+    #: applied as a stale-race overlay before substrate dispatch, so
+    #: both substrates consume the identical merged mask.
+    attacks: list[SelfishMiningAttack] = field(default_factory=list)
     #: The RNG registry the builder wired policy jitter from, captured
     #: so checkpoint/resume can persist those streams too.
     policy_streams: Optional[RngStreams] = None
@@ -146,6 +160,7 @@ class Scenario:
             services=self.services,
             schedule=schedule,
             faults=self.faults,
+            attacks=self.attacks,
         )
         if checkpoint is not None and self.policy_streams is not None:
             if self.policy_streams not in checkpoint.extra_streams:
@@ -447,6 +462,150 @@ def honest_scenario(
         faults=faults,
         policy_streams=streams,
     )
+
+
+#: The adversary-zoo lineup kinds understood by :func:`adversary_scenario`.
+ADVERSARY_KINDS = (
+    "honest",
+    "fifo",
+    "bucketed",
+    "call-auction",
+    "sandwich",
+    "censor-for-rent",
+    "selfish",
+    "max-boost",
+)
+
+
+def adversary_scenario(
+    kind: str,
+    seed: int = 404,
+    scale: float = 1.0,
+    intensity: float = 1.0,
+    target_pool: str = "F2Pool",
+    faults: Optional["FaultSchedule"] = None,
+) -> Scenario:
+    """One adversary-zoo lineup for the detection-power scorecard.
+
+    Every kind runs the *same* labelled workload (self-interest probes,
+    a scam population, MEV victim/attacker pairs, low/zero-fee probes) —
+    only the target pool's ordering policy, or the pool-level attack,
+    differs between rows.  That keeps the detection matrix comparable:
+    the ``honest`` row measures each test's false-positive rate on
+    identical data, and every adversarial row measures power.
+
+    ``intensity`` in [0, 1] scales how aggressively the adversary
+    deviates (victim coverage, ransom floor, bucket width, withholding
+    engagement); kinds without a natural knob ignore it.
+    """
+    if kind not in ADVERSARY_KINDS:
+        raise ValueError(f"unknown adversary kind: {kind!r}")
+    if not 0.0 <= intensity <= 1.0:
+        raise ValueError("intensity must be in [0, 1]")
+    blocks = max(int(1800 * scale), 60)
+    duration = blocks * TARGET_BLOCK_INTERVAL
+    engine_config = EngineConfig(duration=duration)
+    pools = make_pools(DATASET_C_POOLS[:8])
+    streams = RngStreams(seed)
+    _wire_policies(pools, streams, misbehave=False)
+    target = find_pool_in(pools, target_pool)
+    if target is None:
+        raise ValueError(f"target pool not in lineup: {target_pool!r}")
+
+    def scaled(count: int, minimum: int = 4) -> int:
+        return max(int(count * scale), minimum)
+
+    campaign = MevCampaign(name="zoo")
+    workload = WorkloadConfig(
+        duration=duration,
+        capacity_vsize_per_second=_capacity_per_second(engine_config),
+        demand=DemandModel(base_ratio=1.0, ar_sigma=0.10),
+        fees=FeeModel(median_sat_vb=30.0),
+        sizes=SizeModel(),
+        injections=InjectionConfig(
+            self_interest_counts={target.name: scaled(260, minimum=30)},
+            self_interest_fee_rate=1.6,
+            scam_count=scaled(600, minimum=48),
+            low_fee_count=scaled(60),
+            zero_fee_count=scaled(40),
+            cpfp_child_fraction=0.33,
+            mev_victim_count=scaled(90, minimum=12),
+        ),
+        mev_campaign=campaign,
+        pool_wallets={pool.name: pool.reward_addresses for pool in pools},
+    )
+    attacks: list[SelfishMiningAttack] = []
+    if kind == "fifo":
+        target.policy = FifoPolicy(label=f"fifo/{target.name}")
+    elif kind == "bucketed":
+        # Wider buckets erase more of the fee ordering; fee-rates are
+        # lognormal around 30 sat/vB, so intensity 1.0 (width 64)
+        # collapses ~3/4 of all traffic into one arrival-ordered bucket.
+        target.policy = BucketedPriorityPolicy(
+            width=max(2.0, 64.0 * intensity),
+            label=f"bucketed/{target.name}",
+        )
+    elif kind == "call-auction":
+        target.policy = CallAuctionPolicy(label=f"auction/{target.name}")
+    elif kind == "sandwich":
+        target.policy = SandwichPolicy(
+            base=target.policy,
+            victim=txid_set_predicate(campaign.victims),
+            attacker=txid_set_predicate(campaign.attackers),
+            intensity=intensity,
+            label=f"sandwich/{target.name}",
+        )
+    elif kind == "censor-for-rent":
+        # Scam fee-rates are lognormal around 30 sat/vB; the ransom
+        # floor censors ~50% of them at intensity 0, ~90% at 0.5 and
+        # ~99.5% at 1.0.
+        target.policy = CensorForRentPolicy(
+            base=target.policy,
+            banned=address_predicate(frozenset({scam_wallet_address()})),
+            ransom_rate=30.0 * (8.0 ** intensity),
+            label=f"censor-for-rent/{target.name}",
+        )
+    elif kind == "selfish":
+        attacks.append(
+            SelfishMiningAttack(
+                pool=target.name,
+                gamma=0.1,
+                engagement=intensity,
+                seed=seed + 7919,
+            )
+        )
+    elif kind == "max-boost":
+        # Maximal self-interest acceleration: the canonical Table 2
+        # misbehaviour at full strength, used by the scorecard's
+        # power ≈ 1 meta-check.
+        target.policy = PrioritizeSetPolicy(
+            base=target.policy,
+            boost=address_predicate(target.wallet_addresses),
+            label=f"boost/{target.name}",
+        )
+    observers = [ObserverConfig(name="zoo", min_fee_rate=0.0, peer_samples=2)]
+    return Scenario(
+        name=f"adv-{kind}-{target.name}-i{intensity:g}",
+        seed=seed,
+        scale=scale,
+        engine_config=engine_config,
+        pools=pools,
+        observers=observers,
+        workload_config=workload,
+        faults=faults,
+        attacks=attacks,
+        policy_streams=streams,
+    )
+
+
+def find_pool_in(
+    pools: Sequence[MiningPool], name: str
+) -> Optional[MiningPool]:
+    """Look up a pool by name in a plain pool list."""
+    for pool in pools:
+        if pool.name == name:
+            return pool
+    return None
 
 
 def scam_window_bounds(scenario: Scenario) -> tuple[float, float]:

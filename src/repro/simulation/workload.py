@@ -26,6 +26,8 @@ from ..chain.transaction import Transaction, TransactionBuilder
 from ..datasets.records import (
     LABEL_ACCELERATED,
     LABEL_LOW_FEE,
+    LABEL_MEV_ATTACK,
+    LABEL_MEV_VICTIM,
     LABEL_RBF_BUMP,
     LABEL_RBF_ORIGINAL,
     LABEL_SCAM,
@@ -34,6 +36,18 @@ from ..datasets.records import (
     make_label,
 )
 from .rng import RngStreams
+
+if False:  # pragma: no cover - typing only
+    from ..mining.adversaries import MevCampaign
+
+
+def scam_wallet_address() -> str:
+    """The deterministic wallet all scam payments flow to.
+
+    Exposed so censorship experiments can target the scam population by
+    address predicate without regenerating the workload.
+    """
+    return AddressFactory("scam-wallet").next()
 
 
 @dataclass(frozen=True)
@@ -212,6 +226,19 @@ class InjectionConfig:
     rbf_bump_fraction: float = 0.0
     #: Fee multiple the bump pays relative to the original.
     rbf_bump_multiple: float = 12.0
+    #: MEV campaign: juicy victim transactions plus the attacker's own
+    #: front-run/back-run insertions broadcast moments later.  The
+    #: populations are labelled (and registered with the scenario's
+    #: MevCampaign) whether or not any pool actually sandwiches them,
+    #: so honest lineups carry the identical workload.
+    mev_victim_count: int = 0
+    mev_attackers_per_victim: int = 2
+    #: Victims pay well (that is what makes them worth targeting).
+    mev_victim_fee_rate: float = 45.0
+    #: Attacker insertions deliberately underpay — the attacking pool
+    #: commits its own transactions for free, which is exactly the
+    #: acceleration signature the §5.1 binomial detects.
+    mev_attack_fee_rate: float = 1.4
 
 
 @dataclass
@@ -225,6 +252,10 @@ class WorkloadConfig:
     sizes: SizeModel = field(default_factory=SizeModel)
     injections: InjectionConfig = field(default_factory=InjectionConfig)
     pool_wallets: dict[str, Sequence[str]] = field(default_factory=dict)
+    #: Live registry a sandwich policy reads victim/attacker txids from
+    #: (see repro.mining.adversaries.MevCampaign); filled by the
+    #: generator as the MEV populations are minted.
+    mev_campaign: Optional["MevCampaign"] = None
     #: Actual block discovery times, when the scenario pre-draws the
     #: mining race; lets the fee model react to mining luck.
     block_times: Optional[np.ndarray] = None
@@ -524,6 +555,71 @@ class WorkloadGenerator:
                 )
         return planned
 
+    def _mev_txs(self) -> list[PlannedTx]:
+        """Victim transactions plus the attacker's sandwich insertions.
+
+        Each victim is followed, within seconds, by the attacker's
+        front-run/back-run transactions — the attacker watches the
+        mempool and reacts.  Both populations are labelled and
+        registered with the campaign; whether any pool *acts* on them
+        is the scenario's policy wiring, not the workload's.
+        """
+        cfg = self.config
+        injections = cfg.injections
+        if injections.mev_victim_count <= 0:
+            return []
+        rng = self.streams.stream("mev")
+        campaign = cfg.mev_campaign
+        campaign_name = campaign.name if campaign is not None else ""
+        planned: list[PlannedTx] = []
+        times = self._uniform_times(injections.mev_victim_count, rng)
+        for time in times:
+            vsize = int(rng.integers(300, 900))
+            fee = max(int(injections.mev_victim_fee_rate * vsize), 1)
+            victim = self._builder.build(
+                to_address=self._addresses.next(),
+                value=int(rng.integers(10**7, 10**10)),
+                fee=fee,
+                vsize=vsize,
+                nonce=self._next_nonce(),
+            )
+            planned.append(
+                PlannedTx(
+                    broadcast_time=float(time),
+                    tx=victim,
+                    labels=frozenset(
+                        {make_label(LABEL_MEV_VICTIM, campaign_name)}
+                    ),
+                )
+            )
+            if campaign is not None:
+                campaign.register_victim(victim.txid)
+            for _ in range(injections.mev_attackers_per_victim):
+                attack_vsize = int(rng.integers(150, 400))
+                attack_fee = max(
+                    int(injections.mev_attack_fee_rate * attack_vsize), 1
+                )
+                attack = self._builder.build(
+                    to_address=self._addresses.next(),
+                    value=int(rng.integers(10**5, 10**7)),
+                    fee=attack_fee,
+                    vsize=attack_vsize,
+                    nonce=self._next_nonce(),
+                )
+                delay = float(rng.uniform(0.5, 20.0))
+                planned.append(
+                    PlannedTx(
+                        broadcast_time=float(time) + delay,
+                        tx=attack,
+                        labels=frozenset(
+                            {make_label(LABEL_MEV_ATTACK, campaign_name)}
+                        ),
+                    )
+                )
+                if campaign is not None:
+                    campaign.register_attacker(attack.txid)
+        return planned
+
     # ------------------------------------------------------------------
     # Assembly
     # ------------------------------------------------------------------
@@ -534,5 +630,6 @@ class WorkloadGenerator:
         planned.extend(self._scam_txs())
         planned.extend(self._accelerated_txs())
         planned.extend(self._threshold_probe_txs())
+        planned.extend(self._mev_txs())
         planned.sort(key=lambda p: (p.broadcast_time, p.tx.txid))
         return planned

@@ -16,8 +16,9 @@ class TestList:
         assert "fig1" in ids and "table5" in ids and "fig14" in ids
         assert "ext_norms" in ids and "abl_epsilon" in ids
         assert "ext_faults" in ids
-        # 16 paper artefacts + 9 extensions/ablations.
-        assert len(ids) == 25
+        assert "ext_adversaries" in ids
+        # 16 paper artefacts + 10 extensions/ablations.
+        assert len(ids) == 26
 
 
 class TestRun:
@@ -289,3 +290,34 @@ class TestFaults:
         assert "Detection power vs loss" in out
         assert "power cliff" in out
         assert "Detection power vs loss" in out_file.read_text()
+
+
+class TestAdversaries:
+    def test_small_zoo_prints_matrix_and_exports_csv(self, tmp_path, capsys):
+        csv_file = tmp_path / "matrix.csv"
+        out_file = tmp_path / "scorecard.txt"
+        code = main(
+            [
+                "adversaries",
+                "--scale", "0.04",
+                "--kinds", "honest", "max-boost",
+                "--seeds", "11",
+                "--intensities", "1.0",
+                "--csv", str(csv_file),
+                "--out", str(out_file),
+                "--no-cache",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Detection scorecard" in out
+        assert "honest (FPR)" in out
+        lines = csv_file.read_text().strip().splitlines()
+        assert lines[0] == "kind,test,target_pool,runs,power,fpr,mean_p"
+        assert len(lines) == 1 + 2 * 5  # two kinds x five detectors
+        assert "Detection scorecard" in out_file.read_text()
+
+    def test_unknown_kind_exits_2(self, capsys):
+        code = main(["adversaries", "--kinds", "quantum", "--no-cache"])
+        assert code == 2
+        assert "unknown adversary kind" in capsys.readouterr().err

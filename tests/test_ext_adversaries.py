@@ -1,0 +1,189 @@
+"""Meta-tests of the adversary-zoo detection scorecard.
+
+The scorecard is itself a measuring instrument, so it gets the same
+treatment the detectors give the pools: an all-honest lineup must stay
+below alpha in every cell (measured false-positive rate), a maximal-
+intensity self-interest adversary must be caught with power ~ 1, and a
+silently *broken* detector — one that stops firing, or fires on honest
+data — must flip a calibration check.  The statistical cells run a
+small real sweep; the broken-detector cases feed synthetic matrices
+through :func:`repro.analysis.ext_adversaries.scorecard_checks`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.ext_adversaries import (
+    DEFAULT_ALPHA,
+    TESTS,
+    AdversaryCell,
+    DetectionMatrix,
+    detection_pvalues,
+    render_matrix,
+    scorecard_checks,
+    sweep_detection_matrix,
+)
+from repro.datasets.builder import build_dataset
+from repro.simulation.scenarios import ADVERSARY_KINDS, adversary_scenario
+
+SMOKE_KINDS = ("honest", "fifo", "max-boost", "selfish")
+SMOKE_SCALE = 0.05
+
+
+@pytest.fixture(scope="module")
+def smoke_matrix() -> DetectionMatrix:
+    """One-seed, full-intensity sweep over a representative zoo subset."""
+    return sweep_detection_matrix(
+        scale=SMOKE_SCALE,
+        kinds=SMOKE_KINDS,
+        seeds=(11,),
+        intensities=(1.0,),
+    )
+
+
+class TestRealSweep:
+    def test_matrix_covers_every_cell(self, smoke_matrix):
+        assert len(smoke_matrix.cells) == len(SMOKE_KINDS) * len(TESTS)
+        assert {c.kind for c in smoke_matrix.cells} == set(SMOKE_KINDS)
+        assert all(c.runs == 1 for c in smoke_matrix.cells)
+
+    def test_honest_lineup_false_positive_rate_is_bounded(self, smoke_matrix):
+        honest = smoke_matrix.row("honest")
+        assert len(honest) == len(TESTS)
+        for cell in honest:
+            assert cell.is_honest
+            assert cell.rate <= smoke_matrix.alpha
+
+    def test_maximal_self_interest_reaches_full_power(self, smoke_matrix):
+        cell = smoke_matrix.cell("max-boost", "accel")
+        assert cell is not None
+        assert cell.rate == 1.0
+
+    def test_selfish_mining_is_invisible_to_ordering_tests(self, smoke_matrix):
+        for test in ("accel", "decel"):
+            cell = smoke_matrix.cell("selfish", test)
+            assert cell is not None and cell.rate == 0.0
+        # At the smoke scale the share binomial has too few blocks to
+        # clear alpha=0.01, but its p-value must still stand far out
+        # from the honest lineup's (the full sweep reaches power at
+        # scale 0.08 — see ext_adversaries.run's calibration checks).
+        share = smoke_matrix.cell("selfish", "share")
+        honest_share = smoke_matrix.cell("honest", "share")
+        assert share is not None and honest_share is not None
+        assert share.mean_p < 0.05 < honest_share.mean_p
+
+    def test_csv_has_explicit_power_and_fpr_columns(self, smoke_matrix):
+        lines = smoke_matrix.to_csv().strip().splitlines()
+        assert lines[0] == "kind,test,target_pool,runs,power,fpr,mean_p"
+        assert len(lines) == 1 + len(smoke_matrix.cells)
+        for line in lines[1:]:
+            kind, _test, _pool, _runs, power, fpr, _mean_p = line.split(",")
+            if kind == "honest":
+                assert power == "" and fpr != ""
+            else:
+                assert power != "" and fpr == ""
+
+    def test_render_names_the_honest_row_and_blind_spots(self, smoke_matrix):
+        rendered = render_matrix(smoke_matrix)
+        assert "honest (FPR)" in rendered
+        assert "blind spots" in rendered
+
+    def test_detector_battery_is_complete_on_one_dataset(self):
+        dataset = build_dataset(
+            adversary_scenario("honest", seed=11, scale=SMOKE_SCALE)
+        )
+        pvalues = detection_pvalues(dataset, "F2Pool", 0.2)
+        assert set(pvalues) == set(TESTS)
+        assert all(0.0 <= p <= 1.0 for p in pvalues.values())
+
+
+class TestSweepValidation:
+    def test_unknown_kind_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown adversary kind"):
+            sweep_detection_matrix(kinds=("honest", "quantum"))
+
+    def test_empty_seed_list_is_rejected(self):
+        with pytest.raises(ValueError, match="seed"):
+            sweep_detection_matrix(seeds=())
+
+
+# ----------------------------------------------------------------------
+# The scorecard's own calibration checks, against synthetic matrices
+# ----------------------------------------------------------------------
+
+#: Rates mirroring a healthy default sweep (see ext_adversaries.run).
+HEALTHY_RATES = {
+    ("max-boost", "accel"): 1.0,
+    ("max-boost", "ppe"): 0.5,
+    ("fifo", "ppe"): 1.0,
+    ("fifo", "insert"): 0.5,
+    ("call-auction", "ppe"): 1.0,
+    ("bucketed", "ppe"): 0.5,
+    ("sandwich", "insert"): 0.25,
+    ("censor-for-rent", "decel"): 0.75,
+    ("selfish", "share"): 0.5,
+}
+
+
+def synthetic_matrix(overrides: dict | None = None) -> DetectionMatrix:
+    rates = dict(HEALTHY_RATES)
+    rates.update(overrides or {})
+    matrix = DetectionMatrix(
+        target_pool="F2Pool",
+        alpha=DEFAULT_ALPHA,
+        scale=0.08,
+        kinds=tuple(ADVERSARY_KINDS),
+    )
+    for kind in ADVERSARY_KINDS:
+        for test in TESTS:
+            rate = rates.get((kind, test), 0.0)
+            matrix.cells.append(
+                AdversaryCell(
+                    kind=kind,
+                    test=test,
+                    target_pool="F2Pool",
+                    rate=rate,
+                    mean_p=1.0 - rate,
+                    runs=4,
+                )
+            )
+    return matrix
+
+
+def failing_descriptions(matrix: DetectionMatrix) -> list[str]:
+    return [c.description for c in scorecard_checks(matrix) if not c.passed]
+
+
+class TestScorecardChecks:
+    def test_healthy_matrix_passes_every_check(self):
+        assert failing_descriptions(synthetic_matrix()) == []
+
+    def test_honest_false_positives_flip_the_calibration_check(self):
+        broken = synthetic_matrix({("honest", "ppe"): 0.25})
+        assert any(
+            "false-positive" in d for d in failing_descriptions(broken)
+        )
+
+    def test_silently_broken_accel_detector_is_caught(self):
+        """If the acceleration binomial stops firing, the scorecard says so."""
+        broken = synthetic_matrix({("max-boost", "accel"): 0.0})
+        assert any(
+            "caught outright" in d for d in failing_descriptions(broken)
+        )
+
+    def test_silently_broken_ppe_detector_is_caught(self):
+        broken = synthetic_matrix(
+            {("fifo", "ppe"): 0.0, ("call-auction", "ppe"): 0.0}
+        )
+        assert any("PPE sign test" in d for d in failing_descriptions(broken))
+
+    def test_ordering_test_seeing_selfish_mining_is_suspicious(self):
+        """Ordering detectors firing on a consensus attack = broken test."""
+        broken = synthetic_matrix({("selfish", "accel"): 1.0})
+        assert any("selfish" in d for d in failing_descriptions(broken))
+
+    def test_missing_cells_flip_the_coverage_check(self):
+        matrix = synthetic_matrix()
+        matrix.cells = [c for c in matrix.cells if c.kind != "sandwich"]
+        assert any("covers every" in d for d in failing_descriptions(matrix))

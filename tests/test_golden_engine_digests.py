@@ -27,18 +27,34 @@ import pytest
 
 from repro.core.vectorized import SCALAR_ENV
 from repro.datasets.builder import (
+    build_dataset,
     build_dataset_a,
     build_dataset_b,
     build_dataset_c,
 )
+from repro.simulation.scenarios import adversary_scenario
 
 GOLDEN_SCALE = 0.1
 GOLDEN_PATH = Path(__file__).parent / "golden" / "engine_digests_scale01.json"
+
+
+def build_adversary_sandwich(scale: float, cache_dir=None):
+    """The adversarial golden lineup: an MEV-sandwiching target pool.
+
+    Pins the zoo's workload hooks (victim/attacker injections) and the
+    fast path's compiled-policy fallback alongside the honest analogues,
+    so an engine edit cannot silently change adversarial datasets
+    either.
+    """
+    scenario = adversary_scenario("sandwich", scale=scale)
+    return build_dataset(scenario, cache_dir=cache_dir)
+
 
 BUILDERS = {
     "dataset-A": build_dataset_a,
     "dataset-B": build_dataset_b,
     "dataset-C": build_dataset_c,
+    "adv-sandwich": build_adversary_sandwich,
 }
 
 
