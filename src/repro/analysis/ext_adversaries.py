@@ -198,6 +198,42 @@ def _intensities_for(
     return tuple(intensities)
 
 
+def _score_adversary(
+    kind: str,
+    seed: int,
+    intensity: float,
+    scale: float,
+    target_pool: str,
+    cache: Optional[DatasetCache],
+) -> dict:
+    """One sweep cell: simulate (or load) the lineup, run all detectors."""
+    scenario = adversary_scenario(
+        kind,
+        seed=seed,
+        scale=scale,
+        intensity=intensity,
+        target_pool=target_pool,
+    )
+    theta0 = dict(
+        zip(
+            [pool.name for pool in scenario.pools],
+            normalize_hash_shares(scenario.pools),
+        )
+    )[target_pool]
+    dataset = build_dataset(scenario, cache=cache)
+    return {
+        "kind": kind,
+        "pvalues": detection_pvalues(dataset, target_pool, theta0),
+    }
+
+
+def _score_adversary_shard(cell) -> dict:
+    """Pool-worker wrapper: rebuild the cache from its directory string."""
+    kind, seed, intensity, scale, target_pool, cache_dir = cell
+    cache = DatasetCache(cache_dir) if cache_dir is not None else None
+    return _score_adversary(kind, seed, intensity, scale, target_pool, cache)
+
+
 def sweep_detection_matrix(
     scale: float = SWEEP_SCALE,
     kinds: Sequence[str] = ADVERSARY_KINDS,
@@ -206,6 +242,7 @@ def sweep_detection_matrix(
     alpha: float = DEFAULT_ALPHA,
     target_pool: str = TARGET_POOL,
     cache: Optional[DatasetCache] = None,
+    jobs: int = 1,
 ) -> DetectionMatrix:
     """Score every detector against every adversary kind.
 
@@ -214,6 +251,15 @@ def sweep_detection_matrix(
     rate aggregates detections over seeds x intensities, so it mixes
     the half- and full-strength adversary; per-intensity resolution is
     available by calling with a single-element ``intensities``.
+
+    With ``jobs > 1`` the independent (kind, seed, intensity) cells
+    shard across the process pool via
+    :func:`repro.analysis.runner.run_sharded` — cells come back in
+    enumeration order and the p-value lists aggregate in exactly the
+    sequential order, so the matrix is identical for any ``jobs``.
+    Workers share the cache *directory* (lockfile-coordinated), not the
+    cache object; a shard failure aborts the sweep rather than return
+    a matrix with silently missing runs.
     """
     for kind in kinds:
         if kind not in ADVERSARY_KINDS:
@@ -226,30 +272,40 @@ def sweep_detection_matrix(
         scale=scale,
         kinds=tuple(kinds),
     )
+    cells = [
+        (kind, seed, intensity, scale, target_pool)
+        for kind in kinds
+        for seed in seeds
+        for intensity in _intensities_for(kind, intensities)
+    ]
+    if jobs > 1 and len(cells) > 1:
+        from .runner import run_sharded
+
+        cache_dir = str(cache.directory) if cache is not None else None
+        outcomes = run_sharded(
+            [cell + (cache_dir,) for cell in cells],
+            _score_adversary_shard,
+            jobs=jobs,
+        )
+        results = []
+        for outcome in outcomes:
+            if not outcome.ok:
+                raise RuntimeError(f"adversary shard failed: {outcome.error}")
+            results.append(outcome.value)
+    else:
+        results = [
+            _score_adversary(kind, seed, intensity, scale, target_pool, cache)
+            for kind, seed, intensity, scale, target_pool in cells
+        ]
+    pvalues_by_kind: dict[str, dict[str, list[float]]] = {
+        kind: {test: [] for test in TESTS} for kind in kinds
+    }
+    for result in results:
+        for test, p in result["pvalues"].items():
+            pvalues_by_kind[result["kind"]][test].append(p)
     for kind in kinds:
-        pvalues: dict[str, list[float]] = {test: [] for test in TESTS}
-        for seed in seeds:
-            for intensity in _intensities_for(kind, intensities):
-                scenario = adversary_scenario(
-                    kind,
-                    seed=seed,
-                    scale=scale,
-                    intensity=intensity,
-                    target_pool=target_pool,
-                )
-                theta0 = dict(
-                    zip(
-                        [pool.name for pool in scenario.pools],
-                        normalize_hash_shares(scenario.pools),
-                    )
-                )[target_pool]
-                dataset = build_dataset(scenario, cache=cache)
-                for test, p in detection_pvalues(
-                    dataset, target_pool, theta0
-                ).items():
-                    pvalues[test].append(p)
         for test in TESTS:
-            values = pvalues[test]
+            values = pvalues_by_kind[kind][test]
             matrix.cells.append(
                 AdversaryCell(
                     kind=kind,

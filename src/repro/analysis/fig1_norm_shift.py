@@ -11,8 +11,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.ppe import chain_ppe
-from ..simulation.history import generate_era_blocks, split_by_switch
+from ..core.ppe import block_ppe
+from ..simulation.history import NORM_SWITCH_YEAR, iter_era_blocks
 from .base import DataContext, ExperimentResult, check
 from .cdf import ecdf
 from .tables import render_table
@@ -24,12 +24,21 @@ PAPER = {
 
 
 def run(ctx: DataContext) -> ExperimentResult:
-    """Regenerate Fig 1's pre/post-switch PPE contrast."""
+    """Regenerate Fig 1's pre/post-switch PPE contrast.
+
+    The era history streams block-by-block: each block's PPE folds into
+    the era-appropriate list as it is generated, so the two-year chain
+    is never materialised (only the scalar PPE series survives).
+    """
     blocks_per_month = max(int(24 * ctx.scale), 4)
-    era_blocks = generate_era_blocks(blocks_per_month=blocks_per_month)
-    pre_blocks, post_blocks = split_by_switch(era_blocks)
-    pre_ppe = [r.ppe for r in chain_ppe(pre_blocks)]
-    post_ppe = [r.ppe for r in chain_ppe(post_blocks)]
+    pre_ppe: list[float] = []
+    post_ppe: list[float] = []
+    for era_block in iter_era_blocks(blocks_per_month=blocks_per_month):
+        result = block_ppe(era_block.block)
+        if result is None:
+            continue
+        target = pre_ppe if era_block.year < NORM_SWITCH_YEAR else post_ppe
+        target.append(result.ppe)
     pre_cdf = ecdf(pre_ppe)
     post_cdf = ecdf(post_ppe)
 

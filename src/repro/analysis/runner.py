@@ -319,6 +319,88 @@ def run_battery(
 
 
 # ----------------------------------------------------------------------
+# Generic shard executor
+# ----------------------------------------------------------------------
+@dataclass
+class ShardOutcome:
+    """One shard's result (or failure) from :func:`run_sharded`."""
+
+    index: int
+    wall_time: float
+    value: Optional[object] = None
+    error: Optional[str] = None
+    #: obs snapshot delta recorded while the shard ran (tracing only);
+    #: already merged into the parent registry by ``run_sharded``.
+    obs: Optional[dict] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def _run_shard(worker: Callable, cell: object, index: int) -> ShardOutcome:
+    """Execute one shard in this process; never raises."""
+    obs_before = obs.snapshot() if obs.is_enabled() else None
+    start = time.perf_counter()
+    try:
+        value, error = worker(cell), None
+    except Exception as exc:  # failure isolation: record, don't raise
+        value, error = None, f"{type(exc).__name__}: {exc}"
+        obs.counter("runner.shards.raised")
+    wall = time.perf_counter() - start
+    obs_delta = (
+        obs.delta(obs_before, obs.snapshot()) if obs_before is not None else None
+    )
+    return ShardOutcome(
+        index=index, wall_time=wall, value=value, error=error, obs=obs_delta
+    )
+
+
+def run_sharded(
+    cells: Sequence[object],
+    worker: Callable[[object], object],
+    jobs: int = 1,
+) -> list[ShardOutcome]:
+    """Run picklable ``worker(cell)`` units across the process pool.
+
+    The generic fan-out under independent scenario cells (pools ×
+    policies × seeds) and dataset builds: outcomes come back **in cell
+    order** regardless of completion order, a shard that raises is
+    isolated into its slot instead of aborting the rest, and each pool
+    worker's obs delta is merged into the parent registry at join — so
+    a traced sharded run accounts metrics exactly like a sequential
+    one.  ``worker`` must be a module-level function (it crosses the
+    process boundary by reference).
+    """
+    cells = list(cells)
+    if jobs <= 1 or len(cells) <= 1:
+        return [_run_shard(worker, cell, i) for i, cell in enumerate(cells)]
+    outcomes: list[Optional[ShardOutcome]] = [None] * len(cells)
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(cells)), mp_context=_pool_context()
+    ) as pool:
+        futures = {
+            pool.submit(_run_shard, worker, cell, index): index
+            for index, cell in enumerate(cells)
+        }
+        for future in as_completed(futures):
+            index = futures[future]
+            try:
+                outcome = future.result()
+                # The shard recorded into its own process-local obs
+                # registry; fold its contribution into ours.
+                obs.merge(outcome.obs)
+            except Exception as exc:  # worker process died
+                outcome = ShardOutcome(
+                    index=index,
+                    wall_time=0.0,
+                    error=f"worker failed: {type(exc).__name__}: {exc}",
+                )
+            outcomes[index] = outcome
+    return list(outcomes)
+
+
+# ----------------------------------------------------------------------
 # Benchmark harness
 # ----------------------------------------------------------------------
 def _reset_process_caches() -> None:
@@ -752,4 +834,214 @@ def run_metrics_bench(
         "vectorized_never_slower": all(
             c["warm_speedup"] >= 1.0 for c in cells.values()
         ),
+    }
+
+
+# ----------------------------------------------------------------------
+# Columnar-dataset benchmark (cold sharded builds / warm mmap loads)
+# ----------------------------------------------------------------------
+def _build_dataset_shard(cell) -> dict:
+    """Pool worker: build one of the A/B/C analogues through the cache."""
+    from ..datasets import builder as dataset_builder
+
+    name, scale, cache_dir = cell
+    build = {
+        "A": dataset_builder.build_dataset_a,
+        "B": dataset_builder.build_dataset_b,
+        "C": dataset_builder.build_dataset_c,
+    }[name]
+    cache = DatasetCache(cache_dir)
+    start = time.perf_counter()
+    dataset = build(scale=scale, cache=cache)
+    seconds = time.perf_counter() - start
+    return {
+        "dataset": name,
+        "build_seconds": round(seconds, 3),
+        "blocks": dataset.block_count,
+        "records": dataset.tx_count,
+        "snapshots": len(dataset.snapshots),
+        "columnar_attached": dataset.columnar is not None,
+    }
+
+
+def run_datasets_bench(
+    scale: float = 1.0,
+    jobs: int = 4,
+    battery_ids: Optional[Sequence[str]] = None,
+    work_dir: Optional[Union[str, Path]] = None,
+) -> dict:
+    """Benchmark the columnar dataset pipeline end to end.
+
+    Four sections over one fresh cache directory:
+
+    * **cold** — the A/B/C analogues built once each, sharded across
+      the process pool (``jobs``), every entry persisted in both
+      formats with the on-disk sizes recorded;
+    * **warm** — the same datasets re-loaded from the populated cache
+      (in-process memos cleared first), which must come back through
+      the memory-mapped sidecar;
+    * **chain_arrays / table2_warm** — packing cost via mmap vs the
+      object-graph walk on dataset C, then a warm Table 2 sweep with
+      the ``vectorized.chain_arrays.*`` counters, gating that the
+      zero-copy path engaged and **zero** fallbacks occurred;
+    * **battery** — a full paper battery at ``scale`` against the warm
+      cache (scenario-only datasets still build cold inside it).
+
+    Gates: interchange **byte identity** for every dataset loaded back
+    from the columnar store, the mmap path engaging with no fallback on
+    the warm sweep, and the battery completing.
+    """
+    import gzip
+
+    import numpy as np
+
+    from ..core.audit import Auditor
+    from ..core.vectorized import ChainArrays
+    from ..datasets import builder as dataset_builder
+    from ..datasets.builder import disk_cache_key
+    from ..datasets.columnar import columnar_sidecar
+    from ..datasets.io import dataset_to_dict
+    from ..simulation.scenarios import (
+        dataset_a_scenario,
+        dataset_b_scenario,
+        dataset_c_scenario,
+    )
+    from .experiments import EXPERIMENTS
+
+    ids = list(battery_ids) if battery_ids is not None else list(EXPERIMENTS)
+    scenarios = {
+        "A": dataset_a_scenario(scale=scale),
+        "B": dataset_b_scenario(scale=scale),
+        "C": dataset_c_scenario(scale=scale),
+    }
+    cache_root = tempfile.mkdtemp(
+        prefix="repro-bench-datasets-",
+        dir=str(work_dir) if work_dir is not None else None,
+    )
+    try:
+        with obs.tracing():
+            # -- cold: shard the three builds across the pool ----------
+            _reset_process_caches()
+            cells = [(name, scale, cache_root) for name in ("A", "B", "C")]
+            started = time.perf_counter()
+            outcomes = run_sharded(cells, _build_dataset_shard, jobs=jobs)
+            cold_wall = time.perf_counter() - started
+            cache = DatasetCache(cache_root)
+            cold: dict[str, dict] = {}
+            for (name, _, _), outcome in zip(cells, outcomes):
+                entry = (
+                    dict(outcome.value)
+                    if outcome.ok
+                    else {"dataset": name, "error": outcome.error}
+                )
+                path = cache.path_for(disk_cache_key(scenarios[name]))
+                sidecar = columnar_sidecar(path)
+                if path.exists():
+                    entry["gzip_bytes"] = path.stat().st_size
+                if sidecar.exists():
+                    entry["columnar_bytes"] = sidecar.stat().st_size
+                cold[name] = entry
+
+            # -- warm: loads must come back memory-mapped --------------
+            _reset_process_caches()
+            builders = {
+                "A": dataset_builder.build_dataset_a,
+                "B": dataset_builder.build_dataset_b,
+                "C": dataset_builder.build_dataset_c,
+            }
+            warm: dict[str, dict] = {}
+            datasets: dict[str, object] = {}
+            for name, build in builders.items():
+                started = time.perf_counter()
+                dataset = build(scale=scale, cache=cache)
+                seconds = time.perf_counter() - started
+                datasets[name] = dataset
+                warm[name] = {
+                    "load_seconds": round(seconds, 3),
+                    "mmap_attached": dataset.columnar is not None,
+                }
+
+            # -- byte identity: columnar round-trip == gzip interchange
+            byte_identity: dict[str, bool] = {}
+            for name, dataset in datasets.items():
+                path = cache.path_for(disk_cache_key(scenarios[name]))
+                with gzip.open(path, "rb") as handle:
+                    interchange = handle.read()
+                serialized = json.dumps(
+                    dataset_to_dict(dataset), separators=(",", ":")
+                ).encode("utf-8")
+                byte_identity[name] = serialized == interchange
+
+            # -- packing: mmap vs object graph on dataset C ------------
+            dataset_c = datasets["C"]
+            mmap_seconds, packed_mmap = _timed(
+                lambda: ChainArrays.from_dataset(dataset_c), 1
+            )
+            object_seconds, packed_objects = _timed(
+                lambda: ChainArrays.from_blocks(
+                    dataset_c.chain, dataset_c.block_pools
+                ),
+                1,
+            )
+            packs_identical = (
+                packed_mmap.txids == packed_objects.txids
+                and np.array_equal(
+                    packed_mmap.fee_rates, packed_objects.fee_rates
+                )
+                and np.array_equal(
+                    packed_mmap.predicted_rank, packed_objects.predicted_rank
+                )
+            )
+
+            # -- warm Table 2 with the pack-path counters --------------
+            obs_before = obs.snapshot()
+            table2_seconds, _ = _timed(
+                lambda: Auditor(dataset_c).self_interest_table(), 1
+            )
+            pack_counters = obs.delta(obs_before, obs.snapshot()).get(
+                "counters", {}
+            )
+            mmap_packs = int(
+                pack_counters.get("vectorized.chain_arrays.mmap", 0)
+            )
+            fallback_packs = int(
+                pack_counters.get("vectorized.chain_arrays.fallback", 0)
+            )
+
+            # -- a full paper battery against the warm cache -----------
+            battery_cell, _ = _bench_cell(ids, scale, jobs, cache_root)
+    finally:
+        shutil.rmtree(cache_root, ignore_errors=True)
+    _reset_process_caches()
+
+    gates = {
+        "byte_identical": all(byte_identity.values()),
+        "mmap_engaged": mmap_packs > 0 and fallback_packs == 0,
+        "battery_ok": not battery_cell["raised"],
+    }
+    return {
+        "benchmark": "datasets",
+        "scale": scale,
+        "jobs": jobs,
+        "experiments": ids,
+        "cold": {
+            "wall_seconds": round(cold_wall, 3),
+            "sharded": jobs > 1 and len(cells) > 1,
+            "datasets": cold,
+        },
+        "warm": warm,
+        "byte_identity": byte_identity,
+        "chain_arrays": {
+            "mmap_pack_seconds": round(mmap_seconds, 4),
+            "object_pack_seconds": round(object_seconds, 4),
+            "speedup": round(object_seconds / max(mmap_seconds, 1e-9), 2),
+            "identical": bool(packs_identical),
+        },
+        "table2_warm": {
+            "seconds": round(table2_seconds, 4),
+            "mmap_packs": mmap_packs,
+            "fallback_packs": fallback_packs,
+        },
+        "battery": battery_cell,
+        "gates": gates,
     }

@@ -8,7 +8,8 @@ Usage::
     repro-audit run fig7 --scale 0.1 --trace --trace-out obs_metrics.json
     repro-audit obs obs_metrics.json
     repro-audit bench --scale 0.2 --jobs 4 --out BENCH_runner.json
-    repro-audit dataset C --scale 0.1 --out dataset_c.json.gz
+    repro-audit bench --suite datasets --datasets-scale 1.0
+    repro-audit dataset C --scale 0.1 --out dataset_c.json.gz --columnar dataset_c.npz
     repro-audit faults --scale 0.05 --loss 0 0.05 0.5 --downtime 0 0.25
     repro-audit adversaries --scale 0.08 --csv detection_matrix.csv
     repro-audit serve --dataset dataset_c.json.gz --wal-dir ./wal --port 8730
@@ -138,12 +139,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "--suite",
         default="runner",
         help="comma-separated subset of {runner, metrics, service, "
-        "engine, adversaries}, or 'full' for all of them: 'runner' times "
-        "the experiment battery grid, 'metrics' the scalar-vs-vectorized "
-        "audit kernels, 'service' the streaming audit service query "
-        "storm, 'engine' the scalar-vs-vectorized block-production loop, "
-        "'adversaries' the ordering-attack zoo on both substrates plus "
-        "the detection-matrix sweep",
+        "engine, adversaries, datasets}, or 'full' for all of them: "
+        "'runner' times the experiment battery grid, 'metrics' the "
+        "scalar-vs-vectorized audit kernels, 'service' the streaming "
+        "audit service query storm, 'engine' the scalar-vs-vectorized "
+        "block-production loop, 'adversaries' the ordering-attack zoo "
+        "on both substrates plus the detection-matrix sweep, 'datasets' "
+        "the columnar-store grid (sharded cold builds, warm mmap loads, "
+        "interchange byte-identity, zero-copy ChainArrays packing)",
     )
     bench_parser.add_argument(
         "--metrics-scale",
@@ -172,6 +175,20 @@ def _build_parser() -> argparse.ArgumentParser:
         help="dataset scale for the adversary-zoo suite (default 0.08, "
         "the detection-matrix sweep scale)",
     )
+    bench_parser.add_argument(
+        "--datasets-scale",
+        type=float,
+        default=1.0,
+        help="dataset scale for the datasets suite (default 1.0: the "
+        "full-size A/B/C battery the columnar contract is stated at)",
+    )
+    bench_parser.add_argument(
+        "--datasets-jobs",
+        type=int,
+        default=4,
+        help="shard workers for the datasets suite's cold builds "
+        "(default 4)",
+    )
 
     dataset_parser = sub.add_parser(
         "dataset", help="build a dataset analogue and save it to disk"
@@ -184,6 +201,13 @@ def _build_parser() -> argparse.ArgumentParser:
         type=str,
         default=None,
         help="also export flat CSV tables into this directory",
+    )
+    dataset_parser.add_argument(
+        "--columnar",
+        type=str,
+        default=None,
+        help="also export the columnar npz (memory-mappable; loads "
+        "zero-copy into the vectorized audit kernels) to this path",
     )
 
     faults_parser = sub.add_parser(
@@ -270,6 +294,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     adversaries_parser.add_argument(
         "--pool", type=str, default=None, help="the pool playing the adversary"
+    )
+    adversaries_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes; sweep cells shard over a pool when >1 "
+        "(the matrix stays identical to a sequential sweep)",
     )
     adversaries_parser.add_argument(
         "--csv",
@@ -440,7 +471,7 @@ def _bench_command(args: argparse.Namespace) -> int:
         run_metrics_bench,
     )
 
-    known = {"runner", "metrics", "service", "engine", "adversaries"}
+    known = {"runner", "metrics", "service", "engine", "adversaries", "datasets"}
     suites = (
         set(known)
         if args.suite == "full"
@@ -524,6 +555,34 @@ def _bench_command(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             exit_code = 1
+    if "datasets" in suites:
+        from .analysis.runner import run_datasets_bench
+
+        datasets = run_datasets_bench(
+            scale=args.datasets_scale, jobs=args.datasets_jobs
+        )
+        document["datasets"] = datasets
+        gates = datasets["gates"]
+        if not gates["byte_identical"]:
+            print(
+                "FAIL: columnar interchange bytes differ from gzip-JSON",
+                file=sys.stderr,
+            )
+            exit_code = 1
+        if not gates["mmap_engaged"]:
+            print(
+                "FAIL: ChainArrays fell back to the object-graph pack "
+                "on a columnar-backed dataset",
+                file=sys.stderr,
+            )
+            exit_code = 1
+        if not gates["battery_ok"]:
+            print(
+                "FAIL: the experiment battery raised on columnar-cached "
+                "datasets",
+                file=sys.stderr,
+            )
+            exit_code = 1
     if "service" in suites:
         from .service.bench import run_service_bench
 
@@ -571,6 +630,14 @@ def _dataset_command(args: argparse.Namespace) -> int:
         counts = export_csv(dataset, args.csv)
         for name, count in counts.items():
             print(f"  {args.csv}/{name}: {count} rows")
+    if args.columnar:
+        from .datasets.export import export_columnar
+
+        columnar_path = export_columnar(dataset, args.columnar)
+        print(
+            f"columnar store written to {columnar_path} "
+            f"({columnar_path.stat().st_size} bytes)"
+        )
     return 0
 
 
@@ -621,6 +688,8 @@ def _adversaries_command(args: argparse.Namespace) -> int:
         kwargs["alpha"] = args.alpha
     if args.pool is not None:
         kwargs["target_pool"] = args.pool
+    if args.jobs is not None and args.jobs > 1:
+        kwargs["jobs"] = args.jobs
     if not args.no_cache:
         kwargs["cache"] = DatasetCache(args.cache_dir)
     try:

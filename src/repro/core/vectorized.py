@@ -31,6 +31,7 @@ from typing import Iterable, Mapping, Optional, Sequence
 
 import numpy as np
 
+from .. import obs
 from ..chain.block import Block
 from .norms import CpfpFilter, filter_block_transactions
 from .ppe import BlockPpe
@@ -50,6 +51,23 @@ def scalar_mode() -> bool:
 # ----------------------------------------------------------------------
 #: Owner id used for blocks without a pool attribution.
 UNATTRIBUTED = -1
+
+#: Process-cumulative count of object-graph packs (the slow path).
+#: Exported as the ``vectorized.chain_arrays.fallbacks`` gauge so a
+#: regression that silently drops the mmap path shows up in bench
+#: obs deltas, not just in wall time.
+_FALLBACK_PACKS = 0
+
+
+def _note_pack(via_mmap: bool) -> None:
+    """Count one ChainArrays pack on the mmap or the fallback path."""
+    global _FALLBACK_PACKS
+    if via_mmap:
+        obs.counter("vectorized.chain_arrays.mmap")
+    else:
+        _FALLBACK_PACKS += 1
+        obs.counter("vectorized.chain_arrays.fallback")
+        obs.gauge("vectorized.chain_arrays.fallbacks", _FALLBACK_PACKS)
 
 
 @dataclass
@@ -152,10 +170,105 @@ class ChainArrays:
         )
 
     @classmethod
+    def from_columnar(
+        cls,
+        store,
+        block_pools: Optional[Mapping[int, str]] = None,
+        cpfp_filter: CpfpFilter = CpfpFilter.CHILDREN,
+    ) -> "ChainArrays":
+        """Pack straight from a memory-mapped :class:`ColumnStore`.
+
+        No object graph is walked: fee/vsize/CPFP columns come off disk
+        and the CPFP filter is a boolean mask over the precomputed
+        child/parent flags.  Bit-identical to :meth:`from_blocks` on the
+        same chain — the fee-rates are the same IEEE quotients (both
+        sides divide exactly-represented int64 fees by vsizes) and the
+        segmentation/rank code is shared.
+        """
+        block_pools = block_pools or {}
+        heights = np.asarray(store["block_height"], dtype=np.int64)
+        tx_start = np.asarray(store["block_tx_start"], dtype=np.int64)
+        block_count = len(heights)
+        child = np.asarray(store["ctx_cpfp_child"], dtype=bool)
+        if cpfp_filter is CpfpFilter.NONE:
+            keep = np.ones(len(child), dtype=bool)
+        elif cpfp_filter is CpfpFilter.CHILDREN:
+            keep = ~child
+        else:
+            parent = np.asarray(store["ctx_cpfp_parent"], dtype=bool)
+            keep = ~(child | parent)
+        full_index = np.repeat(
+            np.arange(block_count, dtype=np.int64), np.diff(tx_start)
+        )
+        block_index = full_index[keep]
+        counts_arr = np.bincount(block_index, minlength=block_count).astype(
+            np.int64
+        )
+        starts = np.zeros(block_count + 1, dtype=np.int64)
+        np.cumsum(counts_arr, out=starts[1:])
+        fees = np.asarray(store["ctx_fee"], dtype=np.int64)[keep]
+        vsizes = np.asarray(store["ctx_vsize"], dtype=np.int64)[keep]
+        rates = fees.astype(float) / vsizes.astype(float)
+        txids = tuple(store["ctx_txid"][keep].tolist())
+        owner_labels = [block_pools.get(int(h)) for h in heights]
+        names = sorted({label for label in owner_labels if label is not None})
+        name_to_id = {name: index for index, name in enumerate(names)}
+        owner_ids = np.asarray(
+            [
+                name_to_id[label] if label is not None else UNATTRIBUTED
+                for label in owner_labels
+            ],
+            dtype=np.int64,
+        )
+        observed, predicted = _block_ranks(rates, block_index, starts, counts_arr)
+        signed = predicted - observed
+        return cls(
+            cpfp_filter=cpfp_filter,
+            heights=heights,
+            block_hashes=tuple(store["block_hash"].tolist()),
+            owner_ids=owner_ids,
+            owner_names=tuple(names),
+            starts=starts,
+            counts=counts_arr,
+            txids=txids,
+            block_index=block_index,
+            fee_rates=rates,
+            vsizes=vsizes,
+            observed_rank=observed,
+            predicted_rank=predicted,
+            signed_error=signed,
+            abs_error=np.abs(signed),
+            tx_index={txid: index for index, txid in enumerate(txids)},
+            _owner_of=name_to_id,
+        )
+
+    @classmethod
     def from_dataset(
         cls, dataset, cpfp_filter: CpfpFilter = CpfpFilter.CHILDREN
     ) -> "ChainArrays":
-        """Pack a :class:`~repro.datasets.dataset.Dataset`'s chain."""
+        """Pack a :class:`~repro.datasets.dataset.Dataset`'s chain.
+
+        Datasets loaded from the columnar store carry an open
+        ``ColumnStore`` on ``dataset.columnar``; those pack zero-copy
+        via :meth:`from_columnar` after a cheap identity check (name,
+        counts, tip hash) so a mutated or derived dataset never reuses
+        a stale sidecar.  Everything else — and any store that fails to
+        map (torn file, vanished path in a worker) — falls back to the
+        object-graph walk, counted in ``vectorized.chain_arrays.*`` so
+        the bench grids surface regressions.
+        """
+        store = getattr(dataset, "columnar", None)
+        if store is not None:
+            try:
+                if store.matches(dataset):
+                    arrays = cls.from_columnar(
+                        store, dataset.block_pools, cpfp_filter
+                    )
+                    _note_pack(via_mmap=True)
+                    return arrays
+            except (ValueError, OSError, KeyError):
+                pass
+        _note_pack(via_mmap=False)
         return cls.from_blocks(
             dataset.chain, dataset.block_pools, cpfp_filter
         )

@@ -19,8 +19,9 @@ from ..simulation.scenarios import (
     dataset_c_scenario,
 )
 from .cache import CacheKey, DatasetCache
+from .columnar import columnar_sidecar, load_columnar_if_exists, save_columnar
 from .dataset import Dataset
-from .io import dataset_path, load_if_exists, save_dataset
+from .io import DatasetCorruptionError, dataset_path, load_if_exists, save_dataset
 
 _MEMORY_CACHE: dict[tuple[str, int, float], Dataset] = {}
 
@@ -63,7 +64,16 @@ def build_dataset(
     path = None
     if cache_dir is not None:
         path = dataset_path(cache_dir, scenario.name, scenario.seed)
-        cached = load_if_exists(path)
+        cached = None
+        if path.exists():
+            # Prefer the memory-mapped sidecar; a torn one falls back
+            # to the gzip artifact (the completion marker).
+            try:
+                cached = load_columnar_if_exists(columnar_sidecar(path))
+            except DatasetCorruptionError:
+                cached = None
+            if cached is None:
+                cached = load_if_exists(path)
         if cached is not None:
             if use_memory_cache:
                 _MEMORY_CACHE[key] = cached
@@ -72,6 +82,10 @@ def build_dataset(
     if use_memory_cache:
         _MEMORY_CACHE[key] = dataset
     if path is not None:
+        try:
+            save_columnar(dataset, columnar_sidecar(path))
+        except (ValueError, OverflowError, OSError):
+            pass  # gzip-only datasets keep working; interchange rules
         save_dataset(dataset, path)
     return dataset
 

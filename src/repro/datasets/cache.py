@@ -16,6 +16,12 @@ matter how many processes race.  Because :func:`~repro.datasets.io.save_dataset`
 renames the finished file into place, a waiter never observes a
 half-written dataset.
 
+Each entry is a *pair* of files: the columnar, memory-mappable npz
+sidecar (the hot path ``ChainArrays`` loads zero-copy) written first,
+and the gzip-JSON interchange artifact written last as the completion
+marker.  Loads prefer the sidecar; a torn or truncated sidecar is
+evicted and re-healed from the interchange file transparently.
+
 Corrupt cache entries (truncated files, stale schema) are treated as
 misses and rebuilt, never propagated.
 
@@ -40,6 +46,13 @@ from pathlib import Path
 from typing import Callable, Optional, Union
 
 from .. import obs
+from .columnar import (
+    COLUMNAR_FORMAT_VERSION,
+    ColumnStore,
+    columnar_sidecar,
+    load_columnar,
+    save_columnar,
+)
 from .dataset import Dataset
 from .io import FORMAT_VERSION, DatasetCorruptionError, load_dataset, save_dataset
 
@@ -63,12 +76,20 @@ DEFAULT_STALE_LOCK_GRACE = 1.0
 
 @dataclass(frozen=True)
 class CacheKey:
-    """Identity of one cached dataset: the inputs that determine it."""
+    """Identity of one cached dataset: the inputs that determine it.
+
+    Both format versions participate: ``schema_version`` pins the
+    gzip-JSON interchange layout and ``columnar_version`` pins the npz
+    sidecar layout.  An entry is the *pair* of files, so a bump to
+    either version must miss — otherwise a new reader could stale-hit
+    (and mmap garbage out of) a sidecar written by an older writer.
+    """
 
     builder: str
     scale: float
     seed: int
     schema_version: int = FORMAT_VERSION
+    columnar_version: int = COLUMNAR_FORMAT_VERSION
 
     def digest(self) -> str:
         """Content address: a stable hash of the key tuple."""
@@ -78,6 +99,7 @@ class CacheKey:
                 repr(float(self.scale)),
                 int(self.seed),
                 int(self.schema_version),
+                int(self.columnar_version),
             ],
             separators=(",", ":"),
         )
@@ -88,7 +110,8 @@ class CacheKey:
         safe = re.sub(r"[^A-Za-z0-9._-]+", "_", self.builder)
         return (
             f"{safe}-scale{float(self.scale):g}-seed{self.seed}"
-            f"-v{self.schema_version}-{self.digest()}.json.gz"
+            f"-v{self.schema_version}.{self.columnar_version}"
+            f"-{self.digest()}.json.gz"
         )
 
 
@@ -158,21 +181,67 @@ class DatasetCache:
     def path_for(self, key: CacheKey) -> Path:
         return self.directory / key.filename()
 
+    def _evict(self, path: Path) -> None:
+        """Drop one corrupt file; a corrupt entry is a miss, not an error."""
+        self.stats.evictions += 1
+        obs.counter("cache.evictions")
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    def _write_sidecar(self, dataset: Dataset, sidecar: Path) -> None:
+        """Write (or re-heal) the columnar sidecar and attach its store.
+
+        Datasets the columnar writer refuses — e.g. float-typed values
+        in integer columns, which could not round-trip byte-identically
+        — stay gzip-only; the interchange file remains authoritative.
+        """
+        try:
+            save_columnar(dataset, sidecar)
+        except (ValueError, OverflowError, OSError):
+            obs.counter("cache.sidecar_skipped")
+            return
+        try:
+            store = ColumnStore(sidecar)
+            if store.matches(dataset):
+                dataset.columnar = store
+        except (DatasetCorruptionError, OSError):
+            pass
+
     def _load(self, path: Path) -> Optional[Dataset]:
-        """Load ``path`` if it holds a valid dataset; evict it if corrupt."""
+        """Load the entry at ``path`` if valid; evict what is corrupt.
+
+        The gzip-JSON artifact is the entry's *completion marker* (it is
+        written last), so its absence is a miss even when a sidecar
+        exists.  A present entry loads through the memory-mapped sidecar
+        when possible; a torn or truncated sidecar is evicted and the
+        entry falls back to the gzip interchange, which also re-heals
+        the sidecar for the next load.  Only when both files are
+        unreadable does the entry count as gone.
+        """
         if not path.exists():
             return None
-        try:
-            return load_dataset(path)
-        except DatasetCorruptionError:
-            # A corrupt entry is a miss, not an error: evict and rebuild.
-            self.stats.evictions += 1
-            obs.counter("cache.evictions")
+        sidecar = columnar_sidecar(path)
+        if sidecar.exists():
             try:
-                path.unlink()
-            except OSError:
-                pass
+                return load_columnar(sidecar)
+            except DatasetCorruptionError:
+                self._evict(sidecar)
+        try:
+            dataset = load_dataset(path)
+        except DatasetCorruptionError:
+            self._evict(path)
+            if sidecar.exists():
+                # Without its completion marker the sidecar is dead
+                # weight; drop it so the entry rebuilds cleanly.
+                try:
+                    sidecar.unlink()
+                except OSError:
+                    pass
             return None
+        self._write_sidecar(dataset, sidecar)
+        return dataset
 
     def load(self, key: CacheKey) -> Optional[Dataset]:
         """The cached dataset for ``key``, or None on a miss."""
@@ -186,8 +255,16 @@ class DatasetCache:
         return dataset
 
     def store(self, key: CacheKey, dataset: Dataset) -> Path:
-        """Persist ``dataset`` under ``key`` (atomic, deterministic)."""
-        return save_dataset(dataset, self.path_for(key))
+        """Persist ``dataset`` under ``key`` (atomic, deterministic).
+
+        The columnar sidecar goes down first, the gzip-JSON interchange
+        last: waiters in the lockfile protocol treat the gzip artifact
+        as the completion marker, so no process can observe an entry
+        whose sidecar is still missing or half-written.
+        """
+        path = self.path_for(key)
+        self._write_sidecar(dataset, columnar_sidecar(path))
+        return save_dataset(dataset, path)
 
     def get_or_build(
         self, key: CacheKey, build: Callable[[], Dataset]
@@ -330,7 +407,11 @@ class DatasetCache:
         if not self.directory.exists():
             return removed
         for entry in self.directory.iterdir():
-            if entry.suffix == ".lock" or entry.name.endswith(".json.gz"):
+            if (
+                entry.suffix == ".lock"
+                or entry.name.endswith(".json.gz")
+                or entry.name.endswith(".npz")
+            ):
                 try:
                     entry.unlink()
                     removed += 1

@@ -48,6 +48,11 @@ class Dataset:
     pool_wallets: dict[str, frozenset[str]] = field(default_factory=dict)
     size_series: Optional[SizeSeries] = None
     metadata: dict[str, object] = field(default_factory=dict)
+    #: Open :class:`~repro.datasets.columnar.ColumnStore` backing this
+    #: dataset, when it was loaded from (or saved to) the columnar
+    #: format.  The zero-copy ``ChainArrays`` path reads from it; plain
+    #: object-graph datasets leave it None and fall back.
+    columnar: Optional[object] = field(default=None, repr=False, compare=False)
 
     # ------------------------------------------------------------------
     # Basic accessors

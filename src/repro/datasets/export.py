@@ -167,3 +167,15 @@ def export_csv(dataset: Dataset, directory: Union[str, Path]) -> dict[str, int]:
         ),
         POOLS_FILE: export_pools(dataset, directory / POOLS_FILE),
     }
+
+
+def export_columnar(dataset: Dataset, path: Union[str, Path]) -> Path:
+    """Export ``dataset`` as a columnar npz (the memory-mappable form).
+
+    A thin alias over :func:`repro.datasets.columnar.save_columnar` so
+    export call sites (CLI ``dataset --columnar``) read symmetrically
+    with :func:`export_csv`.
+    """
+    from .columnar import save_columnar
+
+    return save_columnar(dataset, Path(path))

@@ -11,6 +11,7 @@ from repro.datasets.builder import (
     disk_cache_key,
 )
 from repro.datasets.cache import CacheKey, DatasetCache
+from repro.datasets.columnar import COLUMNAR_FORMAT_VERSION, columnar_sidecar
 from repro.datasets.io import FORMAT_VERSION, dataset_to_dict, save_dataset
 from repro.simulation.scenarios import dataset_a_scenario
 
@@ -43,8 +44,11 @@ class TestCacheKey:
             CacheKey("unit", 0.25, 7).digest(),
             CacheKey("unit", 0.5, 8).digest(),
             CacheKey("unit", 0.5, 7, schema_version=FORMAT_VERSION + 1).digest(),
+            CacheKey(
+                "unit", 0.5, 7, columnar_version=COLUMNAR_FORMAT_VERSION + 1
+            ).digest(),
         }
-        assert len(digests) == 5
+        assert len(digests) == 6
 
     def test_filename_readable_and_addressed(self):
         name = CacheKey("dataset-C", 0.15, 2020_01_01).filename()
@@ -90,16 +94,104 @@ class TestGetOrBuild:
         cache = DatasetCache(tmp_path)
         cache.get_or_build(KEY, lambda: small)
         path = cache.path_for(KEY)
+        # Both files of the entry torn: the whole entry is a miss.
         path.write_bytes(b"not gzip at all")
+        columnar_sidecar(path).write_bytes(b"not an npz either")
         rebuilt = cache.get_or_build(KEY, lambda: small)
         assert rebuilt is small
-        assert cache.stats.evictions == 1
+        assert cache.stats.evictions == 2  # sidecar, then interchange
         assert cache.stats.builds == 2
+
+    def test_corrupt_gzip_is_masked_by_healthy_sidecar(self, tmp_path, small):
+        """Loads prefer the sidecar, so a torn interchange file still hits."""
+        cache = DatasetCache(tmp_path)
+        cache.get_or_build(KEY, lambda: small)
+        cache.path_for(KEY).write_bytes(b"torn mid-write")
+        loaded = cache.get_or_build(KEY, lambda: pytest.fail("rebuilt"))
+        assert dataset_to_dict(loaded) == dataset_to_dict(small)
+        assert cache.stats.hits == 1
+        assert cache.stats.evictions == 0
+
+    def test_corrupt_sidecar_heals_from_interchange(self, tmp_path, small):
+        """A torn sidecar is evicted, served from gzip, and re-written."""
+        cache = DatasetCache(tmp_path)
+        cache.get_or_build(KEY, lambda: small)
+        sidecar = columnar_sidecar(cache.path_for(KEY))
+        assert sidecar.exists()
+        sidecar.write_bytes(b"\x00" * 32)
+        loaded = cache.get_or_build(KEY, lambda: pytest.fail("rebuilt"))
+        assert dataset_to_dict(loaded) == dataset_to_dict(small)
+        assert cache.stats.evictions == 1
+        assert cache.stats.hits == 1
+        assert sidecar.exists()  # healed for the next load
+        from repro.datasets.columnar import load_columnar
+
+        healed = load_columnar(sidecar)
+        assert dataset_to_dict(healed) == dataset_to_dict(small)
+
+    def test_killed_writer_mid_sidecar_checkpoint_never_crashes(
+        self, tmp_path, small
+    ):
+        """A writer killed mid-sidecar leaves a truncated npz behind.
+
+        The next reader must treat the torn sidecar as corruption (not
+        crash), evict it, and serve — then re-heal — from the gzip
+        completion marker.  Every truncation point is exercised.
+        """
+        cache = DatasetCache(tmp_path)
+        cache.get_or_build(KEY, lambda: small)
+        sidecar = columnar_sidecar(cache.path_for(KEY))
+        pristine = sidecar.read_bytes()
+        for cut in (1, 64, len(pristine) // 2, len(pristine) - 7):
+            sidecar.write_bytes(pristine[:cut])
+            loaded = cache.get_or_build(KEY, lambda: pytest.fail("rebuilt"))
+            assert dataset_to_dict(loaded) == dataset_to_dict(small)
+            assert sidecar.read_bytes() == pristine  # healed byte-identically
+        assert cache.stats.evictions == 4
+        assert cache.stats.builds == 1
+
+    def test_missing_sidecar_is_rehealed_on_load(self, tmp_path, small):
+        cache = DatasetCache(tmp_path)
+        cache.get_or_build(KEY, lambda: small)
+        sidecar = columnar_sidecar(cache.path_for(KEY))
+        sidecar.unlink()
+        loaded = cache.get_or_build(KEY, lambda: pytest.fail("rebuilt"))
+        assert dataset_to_dict(loaded) == dataset_to_dict(small)
+        assert sidecar.exists()
+        assert cache.stats.evictions == 0  # absence is not corruption
+
+    def test_orphan_sidecar_without_completion_marker_is_a_miss(
+        self, tmp_path, small
+    ):
+        """No gzip artifact -> the entry does not exist, sidecar or not."""
+        cache = DatasetCache(tmp_path)
+        cache.get_or_build(KEY, lambda: small)
+        cache.path_for(KEY).unlink()  # marker gone, sidecar orphaned
+        calls = []
+        cache.get_or_build(KEY, lambda: calls.append(1) or small)
+        assert calls  # rebuilt: an unmarked sidecar is never trusted
+
+    def test_columnar_version_bump_misses_the_cache(self, tmp_path, small):
+        """Entries written under another columnar format never alias."""
+        cache = DatasetCache(tmp_path)
+        cache.get_or_build(KEY, lambda: small)
+        bumped = CacheKey(
+            "unit",
+            0.5,
+            7,
+            columnar_version=COLUMNAR_FORMAT_VERSION + 1,
+        )
+        assert bumped.digest() != KEY.digest()
+        assert bumped.filename() != KEY.filename()
+        assert cache.load(bumped) is None  # miss, not a stale sidecar hit
+        calls = []
+        cache.get_or_build(bumped, lambda: calls.append(1) or small)
+        assert calls  # the bumped key built its own entry
 
     def test_clear_removes_entries(self, tmp_path, small):
         cache = DatasetCache(tmp_path)
         cache.get_or_build(KEY, lambda: small)
-        assert cache.clear() == 1
+        assert cache.clear() == 2  # interchange gzip + columnar sidecar
         assert cache.load(KEY) is None
 
     def test_load_and_store_direct(self, tmp_path, small):
@@ -188,7 +280,7 @@ class TestLockProtocol:
         assert not calls  # warm: loaded straight from the artifact
         assert cache.stats.hits == 1
         assert dataset_to_dict(again) == dataset_to_dict(small)
-        assert cache.clear() == 2  # artifact + stale lock both swept
+        assert cache.clear() == 3  # artifact + sidecar + stale lock swept
 
     def test_reelection_builds_once_and_cleans_its_own_lock(
         self, tmp_path, small
